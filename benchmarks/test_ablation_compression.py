@@ -1,0 +1,24 @@
+"""Benchmark: compressed adjacency + reordering (the paper's open question).
+
+Section 2.1.6 asks whether WebGraph-style compression (vertex reordering,
+interval representations) carries over to general real-world networks; this
+bench measures bits-per-arc and the simulated scan-time trade-off for
+gap+interval compression with and without BFS reordering.
+"""
+
+from benchmarks.conftest import assert_figure
+from repro.experiments import ablations
+
+
+def test_ablation_compression(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_compression(quick=True),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert_figure(result)
+    for row in result.rows:
+        benchmark.extra_info[row["representation"]] = {
+            "bits_per_arc": round(float(row["bits_per_arc"]), 2),
+            "mem_MB": round(float(row["mem_MB"]), 3),
+            "scan_us@64thr": round(float(row["scan_us@64thr"]), 2),
+        }

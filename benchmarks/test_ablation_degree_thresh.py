@@ -1,0 +1,24 @@
+"""Benchmark: Hybrid ``degree_thresh`` sweep (paper section 2.1.5).
+
+The paper: "a value of 32 on our platforms provides a reasonable
+insertion-deletion performance trade-off for an equal number of insertions
+and deletions".  The sweep shows insert rates rising and delete rates
+falling as the threshold grows, with 32 near the knee.
+"""
+
+from benchmarks.conftest import assert_figure
+from repro.experiments import ablations
+
+
+def test_ablation_degree_thresh(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_degree_thresh(quick=True),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert_figure(result)
+    for row in result.rows:
+        benchmark.extra_info[f"thresh={row['degree_thresh']}"] = {
+            "treap_vertices": int(row["treap_vertices"]),
+            "ins_MUPS@64": round(float(row["ins_MUPS@64"]), 2),
+            "del_MUPS@64": round(float(row["del_MUPS@64"]), 2),
+        }

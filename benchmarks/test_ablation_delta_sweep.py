@@ -1,0 +1,24 @@
+"""Benchmark: Δ-stepping bucket-width sweep.
+
+The SSSP tuning story of the paper's reference [19] line of work: Δ
+interpolates between Dijkstra (tiny buckets, many barriers) and
+Bellman–Ford (one bucket, redundant relaxations); the sweep locates the
+simulated sweet spot.
+"""
+
+from benchmarks.conftest import assert_figure
+from repro.experiments import ablations
+
+
+def test_ablation_delta_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_delta_sweep(quick=True),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert_figure(result)
+    for row in result.rows:
+        benchmark.extra_info[f"delta={row['delta']}"] = {
+            "buckets": int(row["buckets"]),
+            "relaxations": int(row["relaxations"]),
+            "sim_ms@64": round(float(row["sim_ms@64"]), 3),
+        }

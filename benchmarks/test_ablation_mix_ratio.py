@@ -1,0 +1,21 @@
+"""Benchmark: insert:delete ratio crossover (paper section 2.1.5).
+
+"For a large proportion of deletions, the performance of Hybrid-arr-treap
+would be better than Dyn-arr" — the sweep locates the crossover at the
+paper's 33.5M-vertex scale.
+"""
+
+from benchmarks.conftest import assert_figure
+from repro.experiments import ablations
+
+
+def test_ablation_mix_ratio(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_mix_ratio(quick=True),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert_figure(result)
+    for row in result.rows:
+        benchmark.extra_info[f"insert_frac={row['insert_frac']}"] = round(
+            float(row["hybrid/dynarr"]), 3
+        )

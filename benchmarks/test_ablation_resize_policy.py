@@ -1,0 +1,25 @@
+"""Benchmark: Dyn-arr initial-size (km/n) and growth-factor ablation.
+
+Probes the paper's section 2.1.1 choice — "we set the size of each adjacency
+array to km/n initially ... a value of k = 2 performs reasonably well" — by
+sweeping k and the growth factor and comparing resize copies, pool slack and
+simulated MUPS.
+"""
+
+from benchmarks.conftest import assert_figure
+from repro.experiments import ablations
+
+
+def test_ablation_resize_policy(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_resize_policy(quick=True),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert_figure(result)
+    for row in result.rows:
+        key = f"k={row['k']},growth={row['growth']}"
+        benchmark.extra_info[key] = {
+            "resizes": int(row["resizes"]),
+            "copied_words": int(row["copied_words"]),
+            "MUPS@64": round(float(row["MUPS@64"]), 2),
+        }

@@ -1,0 +1,22 @@
+"""Benchmark: update-stream ordering ablation (paper section 2.1.1).
+
+Quantifies the time-localised hot-vertex bursts the paper's random-shuffle
+remedy targets, comparing generator order, a semi-sorted worst case, and a
+shuffled stream.
+"""
+
+from benchmarks.conftest import assert_figure
+from repro.experiments import ablations
+
+
+def test_ablation_stream_order(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_stream_order(quick=True),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert_figure(result)
+    for row in result.rows:
+        benchmark.extra_info[row["stream"]] = {
+            "peak_burst": int(row["peak_burst"]),
+            "burst_frac": round(float(row["burst_frac"]), 4),
+        }

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Dyn-arr-nr insertion MUPS vs problem size (Figure 1).
+
+Times the full reproduction experiment (real measured kernels at reduced
+scale + profile scaling + simulated thread sweep) and asserts the paper's
+shape checks; the simulated series lands in the benchmark's extra_info.
+"""
+
+from repro.experiments import fig01
+
+
+def test_fig01_insert_scaling(figure_runner):
+    figure_runner(fig01.run)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Dyn-arr vs Dyn-arr-nr construction (Figure 2).
+
+Times the full reproduction experiment (real measured kernels at reduced
+scale + profile scaling + simulated thread sweep) and asserts the paper's
+shape checks; the simulated series lands in the benchmark's extra_info.
+"""
+
+from repro.experiments import fig02
+
+
+def test_fig02_resizing_overhead(figure_runner):
+    figure_runner(fig02.run)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Insertion strategies incl. semi-sort bound (Figure 3).
+
+Times the full reproduction experiment (real measured kernels at reduced
+scale + profile scaling + simulated thread sweep) and asserts the paper's
+shape checks; the simulated series lands in the benchmark's extra_info.
+"""
+
+from repro.experiments import fig03
+
+
+def test_fig03_partitioning(figure_runner):
+    figure_runner(fig03.run)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Dyn-arr vs Treaps vs Hybrid insertions (Figure 4).
+
+Times the full reproduction experiment (real measured kernels at reduced
+scale + profile scaling + simulated thread sweep) and asserts the paper's
+shape checks; the simulated series lands in the benchmark's extra_info.
+"""
+
+from repro.experiments import fig04
+
+
+def test_fig04_insert_representations(figure_runner):
+    figure_runner(fig04.run)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Deletion throughput comparison (Figure 5).
+
+Times the full reproduction experiment (real measured kernels at reduced
+scale + profile scaling + simulated thread sweep) and asserts the paper's
+shape checks; the simulated series lands in the benchmark's extra_info.
+"""
+
+from repro.experiments import fig05
+
+
+def test_fig05_delete_representations(figure_runner):
+    figure_runner(fig05.run)

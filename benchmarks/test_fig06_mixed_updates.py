@@ -1,0 +1,12 @@
+"""Benchmark: regenerate 75/25 mixed update throughput (Figure 6).
+
+Times the full reproduction experiment (real measured kernels at reduced
+scale + profile scaling + simulated thread sweep) and asserts the paper's
+shape checks; the simulated series lands in the benchmark's extra_info.
+"""
+
+from repro.experiments import fig06
+
+
+def test_fig06_mixed_updates(figure_runner):
+    figure_runner(fig06.run)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Link-cut tree construction (Figure 7).
+
+Times the full reproduction experiment (real measured kernels at reduced
+scale + profile scaling + simulated thread sweep) and asserts the paper's
+shape checks; the simulated series lands in the benchmark's extra_info.
+"""
+
+from repro.experiments import fig07
+
+
+def test_fig07_linkcut_construction(figure_runner):
+    figure_runner(fig07.run)

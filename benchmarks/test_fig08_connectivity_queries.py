@@ -1,0 +1,12 @@
+"""Benchmark: regenerate 1M connectivity queries (Figure 8).
+
+Times the full reproduction experiment (real measured kernels at reduced
+scale + profile scaling + simulated thread sweep) and asserts the paper's
+shape checks; the simulated series lands in the benchmark's extra_info.
+"""
+
+from repro.experiments import fig08
+
+
+def test_fig08_connectivity_queries(figure_runner):
+    figure_runner(fig08.run)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Temporal induced subgraph on T1 (Figure 9).
+
+Times the full reproduction experiment (real measured kernels at reduced
+scale + profile scaling + simulated thread sweep) and asserts the paper's
+shape checks; the simulated series lands in the benchmark's extra_info.
+"""
+
+from repro.experiments import fig09
+
+
+def test_fig09_induced_subgraph(figure_runner):
+    figure_runner(fig09.run)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Time-stamped BFS on Power 570 (Figure 10).
+
+Times the full reproduction experiment (real measured kernels at reduced
+scale + profile scaling + simulated thread sweep) and asserts the paper's
+shape checks; the simulated series lands in the benchmark's extra_info.
+"""
+
+from repro.experiments import fig10
+
+
+def test_fig10_bfs_power570(figure_runner):
+    figure_runner(fig10.run)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Approximate temporal betweenness (Figure 11).
+
+Times the full reproduction experiment (real measured kernels at reduced
+scale + profile scaling + simulated thread sweep) and asserts the paper's
+shape checks; the simulated series lands in the benchmark's extra_info.
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11_temporal_bc(figure_runner):
+    figure_runner(fig11.run)

@@ -1,0 +1,93 @@
+"""Host-level microbenchmarks of the extension kernels.
+
+Companion to ``test_host_kernels.py``: real-machine timings for the kernels
+built beyond the paper's evaluated set — Δ-stepping SSSP, dynamic
+connectivity maintenance, closeness/stress, temporal reachability, and the
+compressed snapshot codec.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adjacency.compressed import CompressedCSR
+from repro.adjacency.csr import build_csr
+from repro.core.closeness import closeness_centrality, stress_centrality
+from repro.core.dynamic_connectivity import DynamicConnectivity
+from repro.core.sssp import delta_stepping
+from repro.core.temporal_reach import earliest_arrival
+from repro.generators.rmat import rmat_graph
+from repro.generators.streams import insertion_stream, mixed_stream
+from repro.util.seeding import make_rng
+
+SCALE = 11
+GRAPH = rmat_graph(SCALE, 8, seed=88, ts_range=(1, 100))
+
+
+def _weighted():
+    from dataclasses import replace
+
+    rng = make_rng(1)
+    return replace(GRAPH, w=rng.integers(1, 20, GRAPH.m, dtype=np.int64))
+
+
+def test_host_delta_stepping(benchmark):
+    csr = build_csr(_weighted())
+    res = benchmark(lambda: delta_stepping(csr, 0))
+    assert res.n_reached > 1
+    benchmark.extra_info["relaxations"] = res.relaxations
+    benchmark.extra_info["buckets"] = res.buckets_processed
+
+
+def test_host_dynamic_connectivity_churn(benchmark):
+    base = GRAPH.without_self_loops()
+    stream = mixed_stream(base, 2000, 0.6, seed=2)
+
+    def setup():
+        dc = DynamicConnectivity(base.n, seed=1)
+        dc.apply(insertion_stream(base))
+        return (dc,), {}
+
+    def run(dc):
+        dc.apply(stream)
+        return dc
+
+    dc = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["tree_cuts"] = dc.stats.tree_cuts
+    benchmark.extra_info["replacements"] = dc.stats.replacements_found
+
+
+def test_host_closeness_sampled(benchmark):
+    csr = build_csr(GRAPH)
+    res = benchmark(lambda: closeness_centrality(csr, sources=32, seed=3))
+    assert res.n_sources == 32
+
+
+def test_host_stress_sampled(benchmark):
+    csr = build_csr(GRAPH)
+    res = benchmark(lambda: stress_centrality(csr, sources=16, seed=4))
+    assert res.scores.max() > 0
+
+
+def test_host_earliest_arrival(benchmark):
+    res = benchmark(lambda: earliest_arrival(GRAPH, 0))
+    assert res.n_reached > 1
+    benchmark.extra_info["label_groups"] = res.edge_groups
+
+
+def test_host_compress(benchmark):
+    csr = build_csr(GRAPH)
+    comp = benchmark(lambda: CompressedCSR.from_csr(csr))
+    benchmark.extra_info["bits_per_arc"] = round(comp.bits_per_arc(), 2)
+
+
+def test_host_decompress_scan(benchmark):
+    comp = CompressedCSR.from_csr(build_csr(GRAPH))
+
+    def scan():
+        total = 0
+        for u in range(comp.n):
+            total += comp.neighbors(u).size
+        return total
+
+    total = benchmark(scan)
+    assert total == comp.n_arcs

@@ -1,0 +1,113 @@
+"""Host-level microbenchmarks of the real kernels.
+
+Unlike the figure benchmarks (which time whole reproduction experiments),
+these time the actual Python/numpy kernels on this machine: structural
+update throughput per representation, BFS/components edge rates, link-cut
+query rates.  Useful for tracking real-code regressions independent of the
+machine simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adjacency.csr import build_csr
+from repro.adjacency.registry import make_representation
+from repro.core.bfs import bfs
+from repro.core.components import connected_components
+from repro.core.connectivity import ConnectivityIndex
+from repro.core.betweenness import temporal_betweenness
+from repro.core.induced import induced_subgraph
+from repro.core.update_engine import apply_stream, construct
+from repro.generators.rmat import rmat_graph
+from repro.generators.streams import deletion_stream, mixed_stream
+
+SCALE = 12
+GRAPH = rmat_graph(SCALE, 8, seed=77, ts_range=(1, 100))
+CSR = build_csr(GRAPH)
+
+
+@pytest.mark.parametrize("kind", ["dynarr", "treap", "hybrid", "batched"])
+def test_host_construction(benchmark, kind):
+    def run():
+        rep = make_representation(
+            kind, GRAPH.n, **({"seed": 1} if kind in ("treap", "hybrid") else {})
+        )
+        construct(rep, GRAPH)
+        return rep
+
+    rep = benchmark(run)
+    assert rep.n_arcs == 2 * GRAPH.m
+    benchmark.extra_info["host_mups"] = round(GRAPH.m / benchmark.stats["mean"] / 1e6, 3)
+
+
+@pytest.mark.parametrize("kind", ["dynarr", "hybrid"])
+def test_host_deletions(benchmark, kind):
+    dels = deletion_stream(GRAPH, GRAPH.m // 10, seed=3)
+
+    def setup():
+        rep = make_representation(
+            kind, GRAPH.n, **({"seed": 1} if kind == "hybrid" else {})
+        )
+        construct(rep, GRAPH)
+        return (rep,), {}
+
+    def run(rep):
+        return apply_stream(rep, dels)
+
+    res = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert res.misses == 0
+
+
+def test_host_mixed_updates(benchmark):
+    stream = mixed_stream(GRAPH, 5000, 0.75, seed=4)
+
+    def setup():
+        rep = make_representation("hybrid", GRAPH.n, seed=1)
+        construct(rep, GRAPH)
+        return (rep,), {}
+
+    benchmark.pedantic(lambda rep: apply_stream(rep, stream), setup=setup,
+                       rounds=3, iterations=1)
+
+
+def test_host_bfs(benchmark):
+    res = benchmark(lambda: bfs(CSR, 0))
+    benchmark.extra_info["edges_per_sec"] = round(
+        res.total_edges_scanned / benchmark.stats["mean"], 0
+    )
+    assert res.n_reached > 1
+
+
+def test_host_timestamped_bfs(benchmark):
+    res = benchmark(lambda: bfs(CSR, 0, ts_range=(20, 80)))
+    assert res.n_reached >= 1
+
+
+def test_host_components(benchmark):
+    res = benchmark(lambda: connected_components(CSR))
+    assert res.n_components >= 1
+
+
+def test_host_linkcut_build_and_query(benchmark):
+    index = ConnectivityIndex.from_csr(CSR)
+
+    def run():
+        return index.random_query_batch(100_000, seed=5)
+
+    res = benchmark(run)
+    benchmark.extra_info["queries_per_sec"] = round(
+        res.n_queries / benchmark.stats["mean"], 0
+    )
+
+
+def test_host_induced_subgraph(benchmark):
+    res = benchmark(lambda: induced_subgraph(GRAPH, 20, 70))
+    assert res.n_affected > 0
+
+
+def test_host_temporal_betweenness(benchmark):
+    res = benchmark.pedantic(
+        lambda: temporal_betweenness(CSR, sources=16, seed=6, temporal=True),
+        rounds=3, iterations=1,
+    )
+    assert res.n_sources == 16

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Incremental connectivity: maintain, don't recompute.
+
+The point of the paper's section 3.1 — "a dynamic graph algorithm should
+process queries related to a graph property faster than recomputing from
+scratch, and also perform topological updates quickly" — demonstrated
+head-to-head: a :class:`DynamicConnectivity` index (link-cut forest kept in
+sync with the adjacency structure) versus rebuilding the spanning forest
+after every batch of updates.
+
+Run:  python examples/incremental_connectivity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adjacency.csr import csr_from_representation
+from repro.core.connectivity import ConnectivityIndex
+from repro.core.dynamic_connectivity import DynamicConnectivity
+from repro.generators.rmat import rmat_graph
+from repro.generators.streams import iter_batches, mixed_stream
+from repro.util.seeding import make_rng
+from repro.util.timing import Timer
+
+SCALE = 10
+BATCHES = 20
+BATCH_SIZE = 400
+
+
+def main() -> None:
+    base = rmat_graph(SCALE, 8, seed=123).without_self_loops()
+    stream = mixed_stream(base, BATCHES * BATCH_SIZE, 0.6, seed=7)
+    rng = make_rng(42)
+
+    # --- incremental index -------------------------------------------------
+    dyn = DynamicConnectivity(base.n, seed=1)
+    with Timer() as t_build:
+        for u, v, ts in zip(base.src.tolist(), base.dst.tolist(),
+                            base.timestamps().tolist()):
+            dyn.insert_edge(u, v, ts)
+    print(f"base graph: {base}")
+    print(f"incremental index built in {t_build.elapsed:.2f}s "
+          f"({dyn.n_components()} components)\n")
+
+    print(f"{'batch':>6} {'edges':>7} {'comps':>6} {'incr ms':>8} "
+          f"{'rebuild ms':>11} {'agree':>6}")
+    total_incr = total_rebuild = 0.0
+    for i, batch in enumerate(iter_batches(stream, BATCH_SIZE)):
+        with Timer() as t_incr:
+            dyn.apply(batch)
+            queries = rng.integers(0, base.n, (50, 2))
+            incr_answers = dyn.connected_batch(queries[:, 0], queries[:, 1])
+        with Timer() as t_rebuild:
+            index = ConnectivityIndex.from_csr(csr_from_representation(dyn.rep))
+            rebuild_answers = index.forest.connected_batch(
+                queries[:, 0], queries[:, 1]
+            )
+        agree = bool(np.array_equal(incr_answers, rebuild_answers))
+        assert agree, f"divergence at batch {i}"
+        total_incr += t_incr.elapsed
+        total_rebuild += t_rebuild.elapsed
+        print(f"{i:>6} {dyn.n_edges:>7} {dyn.n_components():>6} "
+              f"{1e3 * t_incr.elapsed:>8.1f} {1e3 * t_rebuild.elapsed:>11.1f} "
+              f"{'yes' if agree else 'NO'}")
+
+    dyn.validate()
+    print(f"\nmaintenance stats: {dyn.stats.tree_links} links, "
+          f"{dyn.stats.tree_cuts} cuts, "
+          f"{dyn.stats.replacements_found} replacements found, "
+          f"{dyn.stats.replacement_scan_arcs} arcs scanned for replacements")
+    speedup = total_rebuild / total_incr if total_incr else float("inf")
+    print(f"host time: incremental {total_incr:.2f}s vs rebuild "
+          f"{total_rebuild:.2f}s per-batch ({speedup:.1f}x)")
+    print("(the simulated-machine gap is far larger: a rebuild is a full "
+          "components+BFS pass, an increment is O(depth) pointer work)")
+
+
+if __name__ == "__main__":
+    main()

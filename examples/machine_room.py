@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Machine room: watch one workload scale across the paper's three machines.
+
+Runs a real construction + deletion workload once, extracts its measured
+work profile, scales it to the paper's 33.5M-vertex instance, and sweeps it
+over the UltraSPARC T1, UltraSPARC T2 and IBM Power 570 models — printing
+the same time / speedup / MUPS tables the experiment harness uses for the
+figures, plus a per-component cycle breakdown that shows *why* each machine
+behaves as it does.
+
+Run:  python examples/machine_room.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adjacency.dynarr import DynArrAdjacency
+from repro.adjacency.hybrid import HybridAdjacency
+from repro.core.update_engine import apply_stream, construct
+from repro.experiments.common import footprint_coefficients
+from repro.generators.rmat import rmat_graph
+from repro.generators.streams import deletion_stream
+from repro.machine import (
+    POWER_570,
+    ULTRASPARC_T1,
+    ULTRASPARC_T2,
+    SimulatedMachine,
+)
+from repro.machine.scale import ScaledInstance, scale_profile
+
+SCALE = 13
+TARGET_N = 1 << 25
+TARGET_M = 268_000_000
+
+
+def main() -> None:
+    graph = rmat_graph(SCALE, 10, seed=5)
+    print(f"measured workload: construction of {graph} plus 7.5% deletions\n")
+
+    rep = HybridAdjacency(graph.n, seed=1)
+    res = construct(rep, graph)
+    bpv, bpe = footprint_coefficients(rep, graph.n, 2 * graph.m)
+    inst = ScaledInstance(
+        n_measured=graph.n, m_measured=graph.m,
+        n_target=TARGET_N, m_target=TARGET_M,
+        ops_measured=graph.m, ops_target=TARGET_M,
+        bytes_per_vertex=bpv, bytes_per_edge=2 * bpe,
+    )
+    profile = scale_profile(res.profile, inst, logdeg_correction=True)
+    print(f"profile scaled to n={TARGET_N:,} / m={TARGET_M:,} "
+          f"(footprint {inst.footprint_target_bytes / 1e9:.1f} GB)\n")
+
+    for spec in (ULTRASPARC_T1, ULTRASPARC_T2, POWER_570):
+        sim = SimulatedMachine(spec)
+        sweep = sim.sweep(profile, n_items=TARGET_M)
+        print(sweep.table())
+        best_p, best_t = sweep.best()
+        print(f"  -> best: {best_t:.2f}s at {best_p} threads "
+              f"(cache: {spec.cache_bytes >> 20} MB, "
+              f"MLP cap: {spec.memory_concurrency(spec.max_threads):.0f})\n")
+
+    # Why does the T2 stop scaling? Show the component breakdown.
+    sim = SimulatedMachine(ULTRASPARC_T2)
+    print("UltraSPARC T2 cycle breakdown (construction phase):")
+    print(f"{'threads':>8} {'alu':>10} {'rand_mem':>10} {'seq_mem':>10} "
+          f"{'sync':>10} {'barrier':>10}")
+    for p in (1, 8, 64):
+        pc = sim.breakdown(profile, p)[0]
+        print(f"{p:>8} {pc.alu:>10.3g} {pc.rand_mem:>10.3g} "
+              f"{pc.seq_mem:>10.3g} {pc.sync:>10.3g} {pc.barrier:>10.3g}")
+    print("\nrandom-memory latency dominates; its overlap is capped by the "
+          "core's outstanding-miss budget,\nwhich is the Niagara latency-"
+          "hiding story behind the paper's speedup curves.")
+
+    # And the Figure-5 effect: the same deletions on two structures.
+    print("\n-- deletion shootout at paper scale (simulated T2, 64 threads) --")
+    dels = deletion_stream(graph, graph.m // 13, seed=9)
+    from repro.machine.scale import rmat_size_biased_growth
+
+    growth = rmat_size_biased_growth(SCALE, 25)
+    for label, structure in (
+        ("Dyn-arr", DynArrAdjacency(graph.n, expected_m=2 * graph.m)),
+        ("Hybrid-arr-treap", HybridAdjacency(graph.n, seed=1)),
+    ):
+        construct(structure, graph)
+        dres = apply_stream(
+            structure, dels,
+            phase_name="deletions",
+            probe_scale=growth if label == "Dyn-arr" else 1.0,
+        )
+        dinst = ScaledInstance(
+            n_measured=graph.n, m_measured=graph.m,
+            n_target=TARGET_N, m_target=TARGET_M,
+            ops_measured=len(dels), ops_target=20_000_000,
+            bytes_per_vertex=bpv, bytes_per_edge=2 * bpe,
+        )
+        dprofile = scale_profile(dres.profile, dinst)
+        print(f"  {label:18s} {sim.mups_at(dprofile, 64, 20_000_000):8.2f} MUPS")
+
+
+if __name__ == "__main__":
+    main()

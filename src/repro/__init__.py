@@ -1,0 +1,51 @@
+"""repro — reproduction of Madduri & Bader, IPDPS 2009.
+
+Compact dynamic-graph representations (Dyn-arr, Treaps, Hybrid-arr-treap,
+vertex/edge partitioning, batched semi-sort), parallel connectivity kernels
+(link-cut trees, BFS, connected components, induced temporal subgraphs,
+temporal betweenness centrality), and a calibrated simulator of the paper's
+multithreaded machines (UltraSPARC T1/T2, IBM Power 570).
+
+Quickstart::
+
+    import repro
+
+    g = repro.generators.rmat_graph(scale=14, edge_factor=10, seed=1)
+    dg = repro.DynamicGraph.from_edges(g.n, g.src, g.dst, g.ts,
+                                       representation="hybrid")
+    forest = dg.spanning_forest()
+    forest.connected(0, 42)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from __future__ import annotations
+
+__version__ = "0.1.0"
+
+from repro import errors, util, machine
+
+__all__ = [
+    "__version__",
+    "errors",
+    "util",
+    "machine",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` cheap and avoid import cycles while
+    # the subpackages below pull in numpy-heavy modules.
+    if name in ("generators", "adjacency", "core", "experiments"):
+        import importlib
+
+        mod = importlib.import_module(f"repro.{name}")
+        globals()[name] = mod
+        return mod
+    if name == "DynamicGraph":
+        from repro.api import DynamicGraph
+
+        globals()["DynamicGraph"] = DynamicGraph
+        return DynamicGraph
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — synthesise an R-MAT / Watts–Strogatz / Erdős–Rényi graph
+  to ``.npz`` or text;
+* ``stats`` — small-world statistics of a stored graph (degrees,
+  clustering, effective diameter, components);
+* ``connectivity`` — build the link-cut spanning forest and answer
+  s–t queries;
+* ``simulate`` — construct the graph on a chosen representation and sweep
+  a simulated machine (the Figure 2/4 style table for *your* graph).
+
+The figure reproductions live under ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+
+def _load(path: str):
+    from repro.io import load_npz, read_edgelist
+
+    p = Path(path)
+    if p.suffix == ".npz":
+        return load_npz(p)
+    return read_edgelist(p)
+
+
+def _save(path: str, graph) -> None:
+    from repro.io import save_npz, write_edgelist
+
+    p = Path(path)
+    if p.suffix == ".npz":
+        save_npz(p, graph)
+    else:
+        write_edgelist(p, graph)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.generators import erdos_renyi, rmat_graph, watts_strogatz
+
+    if args.model == "rmat":
+        ts_range = (args.ts_min, args.ts_max) if args.ts_max >= 0 else None
+        g = rmat_graph(
+            args.scale, args.edge_factor, seed=args.seed, ts_range=ts_range,
+            shuffle=args.shuffle,
+        )
+    elif args.model == "ws":
+        g = watts_strogatz(1 << args.scale, args.k, args.beta, seed=args.seed)
+    else:
+        g = erdos_renyi(1 << args.scale, args.p, seed=args.seed)
+    _save(args.out, g)
+    print(f"wrote {g} -> {args.out}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.adjacency.csr import build_csr
+    from repro.core.metrics import (
+        average_clustering,
+        degree_stats,
+        effective_diameter,
+        giant_component_fraction,
+    )
+
+    g = _load(args.graph)
+    csr = build_csr(g)
+    s = degree_stats(csr)
+    print(f"graph: n={s.n} arcs={s.n_arcs}")
+    print(f"degrees: min={s.min} mean={s.mean:.2f} median={s.median:.0f} max={s.max}")
+    print(f"top-1% vertices hold {100 * s.top1pct_arc_share:.1f}% of arcs "
+          f"(log-log slope {s.loglog_slope:.2f})")
+    samples = min(args.samples, max(1, csr.n))
+    cc = average_clustering(csr, samples=samples, seed=0)
+    eff, ecc = effective_diameter(csr, samples=min(8, max(1, csr.n)), seed=0)
+    print(f"clustering (sampled): {cc:.4f}")
+    print(f"effective diameter (90th pct): {eff:.1f}; max observed ecc: {ecc}")
+    print(f"giant component: {100 * giant_component_fraction(csr):.1f}% of vertices")
+    return 0
+
+
+def cmd_connectivity(args: argparse.Namespace) -> int:
+    from repro.adjacency.csr import build_csr
+    from repro.core.connectivity import ConnectivityIndex
+
+    g = _load(args.graph)
+    index = ConnectivityIndex.from_csr(build_csr(g))
+    print(f"forest built: {index.forest.n_trees()} trees over {g.n} vertices")
+    if args.pairs:
+        for pair in args.pairs:
+            u, v = (int(x) for x in pair.split(","))
+            print(f"connected({u}, {v}) = {index.query(u, v)}")
+    if args.random > 0:
+        res = index.random_query_batch(args.random, seed=args.seed)
+        frac = float(res.connected.mean()) if res.n_queries else 0.0
+        print(f"{args.random} random queries: {100 * frac:.1f}% connected, "
+              f"{res.hops_per_query:.1f} hops/query")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.adjacency.registry import make_representation
+    from repro.core.update_engine import construct
+    from repro.machine import SimulatedMachine
+
+    g = _load(args.graph)
+    kwargs = {}
+    if args.representation in ("treap", "hybrid"):
+        kwargs["seed"] = args.seed
+    if args.representation == "dynarr":
+        kwargs["expected_m"] = 2 * g.m
+    if args.representation == "dynarr-nr":
+        deg = np.bincount(g.src, minlength=g.n) + np.bincount(g.dst, minlength=g.n)
+        kwargs["degrees"] = deg
+    rep = make_representation(args.representation, g.n, **kwargs)
+    res = construct(rep, g)
+    sim = SimulatedMachine(args.machine)
+    print(f"constructed {g.m} edges on {args.representation!r} "
+          f"(host {res.host_seconds:.2f}s)")
+    print(sim.sweep(res.profile, n_items=g.m).table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Dynamic small-world graph analysis (Madduri & Bader 2009 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesise a graph")
+    p.add_argument("--model", choices=["rmat", "ws", "er"], default="rmat")
+    p.add_argument("--scale", type=int, default=12, help="n = 2^scale")
+    p.add_argument("--edge-factor", type=int, default=10, help="m = edge_factor * n (rmat)")
+    p.add_argument("--k", type=int, default=4, help="ring degree (ws)")
+    p.add_argument("--beta", type=float, default=0.1, help="rewiring prob (ws)")
+    p.add_argument("--p", type=float, default=0.001, help="edge prob (er)")
+    p.add_argument("--ts-min", type=int, default=1)
+    p.add_argument("--ts-max", type=int, default=-1,
+                   help="assign uniform time-stamps in [ts-min, ts-max] (rmat)")
+    p.add_argument("--shuffle", action="store_true")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--out", required=True, help=".npz or text path")
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("stats", help="small-world statistics of a graph")
+    p.add_argument("graph")
+    p.add_argument("--samples", type=int, default=200, help="clustering sample size")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("connectivity", help="spanning-forest connectivity queries")
+    p.add_argument("graph")
+    p.add_argument("--pairs", nargs="*", default=[], metavar="U,V")
+    p.add_argument("--random", type=int, default=0, help="also run N random queries")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_connectivity)
+
+    p = sub.add_parser("simulate", help="sweep a workload on a simulated machine")
+    p.add_argument("graph")
+    p.add_argument("--representation", default="hybrid",
+                   choices=["dynarr", "dynarr-nr", "treap", "hybrid", "vpart",
+                            "epart", "batched"])
+    p.add_argument("--machine", default="t2", choices=["t1", "t2", "power570"])
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_simulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

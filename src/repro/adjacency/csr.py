@@ -1,0 +1,171 @@
+"""Static CSR (compressed sparse row) snapshots.
+
+The cache-friendly adjacency-array representation the paper builds on for
+static graphs (section 2.1, citing Park, Penner & Prasanna): one offsets
+array and one packed targets array, with an optional parallel time-stamp
+column.  Every analysis kernel in :mod:`repro.core` consumes this format;
+dynamic representations export to it via :func:`csr_from_representation`
+(the paper's kernels likewise run over a consolidated adjacency structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.edgelist import EdgeList
+from repro.errors import GraphError, VertexError
+
+__all__ = ["CSRGraph", "build_csr", "csr_from_representation"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """Directed adjacency in CSR form.
+
+    ``offsets`` has length n+1; vertex u's arcs are
+    ``targets[offsets[u]:offsets[u+1]]`` with matching ``ts`` entries when
+    time-stamps are present.
+    """
+
+    n: int
+    offsets: np.ndarray
+    targets: np.ndarray
+    ts: np.ndarray | None = None
+    #: Optional positive integer edge weights, parallel to ``targets``
+    #: (paper section 2: w(e) = 1 for unweighted graphs).
+    w: np.ndarray | None = None
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        off = np.asarray(self.offsets, dtype=np.int64)
+        tgt = np.asarray(self.targets, dtype=np.int64)
+        if off.shape != (self.n + 1,):
+            raise GraphError(f"offsets must have shape ({self.n + 1},), got {off.shape}")
+        if off[0] != 0 or off[-1] != tgt.size:
+            raise GraphError("offsets must start at 0 and end at len(targets)")
+        if np.any(np.diff(off) < 0):
+            raise GraphError("offsets must be non-decreasing")
+        if tgt.size and (tgt.min() < 0 or tgt.max() >= self.n):
+            raise GraphError("targets contain out-of-range vertex ids")
+        object.__setattr__(self, "offsets", off)
+        object.__setattr__(self, "targets", tgt)
+        if self.ts is not None:
+            t = np.asarray(self.ts, dtype=np.int64)
+            if t.shape != tgt.shape:
+                raise GraphError("ts must parallel targets")
+            object.__setattr__(self, "ts", t)
+        if self.w is not None:
+            w = np.asarray(self.w, dtype=np.int64)
+            if w.shape != tgt.shape:
+                raise GraphError("w must parallel targets")
+            if w.size and w.min() <= 0:
+                raise GraphError("edge weights must be positive")
+            object.__setattr__(self, "w", w)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_arcs(self) -> int:
+        return int(self.targets.size)
+
+    def degree(self, u: int) -> int:
+        self._check(u)
+        return int(self.offsets[u + 1] - self.offsets[u])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """View (no copy) of u's targets."""
+        self._check(u)
+        return self.targets[self.offsets[u] : self.offsets[u + 1]]
+
+    def neighbors_with_ts(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        self._check(u)
+        lo, hi = int(self.offsets[u]), int(self.offsets[u + 1])
+        t = self.ts[lo:hi] if self.ts is not None else np.zeros(hi - lo, dtype=np.int64)
+        return self.targets[lo:hi], t
+
+    def _check(self, u: int) -> None:
+        if not 0 <= u < self.n:
+            raise VertexError(f"vertex id {u} out of range [0, {self.n})")
+
+    def weights(self) -> np.ndarray:
+        """Edge weights, defaulting to ones (unweighted convention)."""
+        if self.w is not None:
+            return self.w
+        return np.ones(self.n_arcs, dtype=np.int64)
+
+    def memory_bytes(self) -> int:
+        total = self.offsets.nbytes + self.targets.nbytes
+        if self.ts is not None:
+            total += self.ts.nbytes
+        if self.w is not None:
+            total += self.w.nbytes
+        return int(total)
+
+    def to_edgelist(self, *, directed: bool = True) -> EdgeList:
+        """Flatten back to an edge list (one line per stored arc)."""
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
+        return EdgeList(self.n, src, self.targets.copy(),
+                        ts=None if self.ts is None else self.ts.copy(),
+                        w=None if self.w is None else self.w.copy(),
+                        directed=directed, meta=dict(self.meta))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(n={self.n}, arcs={self.n_arcs})"
+
+
+def build_csr(graph: EdgeList, *, symmetrize: bool | None = None) -> CSRGraph:
+    """Build a CSR snapshot from an edge list.
+
+    ``symmetrize`` defaults to "both arcs for undirected inputs, as-is for
+    directed" — pass explicitly to override.  Arc order within a vertex
+    follows input order (stable sort), preserving insertion/temporal order.
+    """
+    if symmetrize is None:
+        symmetrize = not graph.directed
+    if symmetrize:
+        # Force both arcs even for directed inputs (EdgeList.symmetrized is
+        # a no-op on directed lists by contract).
+        src = np.concatenate([graph.src, graph.dst])
+        dst = np.concatenate([graph.dst, graph.src])
+        ts = None if graph.ts is None else np.concatenate([graph.ts, graph.ts])
+        w = None if graph.w is None else np.concatenate([graph.w, graph.w])
+    else:
+        src, dst, ts, w = graph.src, graph.dst, graph.ts, graph.w
+    return csr_from_arrays(graph.n, src, dst, ts, w=w, meta=dict(graph.meta))
+
+
+def csr_from_arrays(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    ts: np.ndarray | None = None,
+    *,
+    w: np.ndarray | None = None,
+    meta: dict | None = None,
+) -> CSRGraph:
+    """CSR from parallel arc arrays (already symmetrised if desired)."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    counts = np.bincount(src, minlength=n) if src.size else np.zeros(n, dtype=np.int64)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    order = np.argsort(src, kind="stable")
+    return CSRGraph(
+        n,
+        offsets,
+        dst[order],
+        ts=None if ts is None else np.asarray(ts, dtype=np.int64)[order],
+        w=None if w is None else np.asarray(w, dtype=np.int64)[order],
+        meta=meta or {},
+    )
+
+
+def csr_from_representation(rep) -> CSRGraph:
+    """Snapshot a dynamic representation's live arcs into CSR form."""
+    src, dst, ts = rep.to_arrays()
+    return csr_from_arrays(rep.n, src, dst, ts, meta={"source": rep.kind})

@@ -1,0 +1,60 @@
+"""Representation registry: build any of the paper's structures by name.
+
+Names match the paper's figure legends: ``dynarr``, ``dynarr-nr``,
+``treap``, ``hybrid``, ``vpart``, ``epart``, ``batched``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.adjacency.base import AdjacencyRepresentation
+from repro.adjacency.batch import BatchedAdjacency
+from repro.adjacency.dynarr import DynArrAdjacency
+from repro.adjacency.epart import EPartAdjacency
+from repro.adjacency.hybrid import HybridAdjacency
+from repro.adjacency.treap import TreapAdjacency
+from repro.adjacency.vpart import VPartAdjacency
+from repro.errors import GraphError
+
+__all__ = ["REPRESENTATIONS", "make_representation"]
+
+
+def _dynarr_nr(n: int, **kwargs) -> DynArrAdjacency:
+    degrees = kwargs.pop("degrees", None)
+    if degrees is None:
+        raise GraphError(
+            "dynarr-nr needs per-vertex arc capacities: pass degrees=<array> "
+            "(the paper's 'optimal-case' variant assumes degrees are known)"
+        )
+    return DynArrAdjacency.preallocated(n, np.asarray(degrees, dtype=np.int64), **kwargs)
+
+
+REPRESENTATIONS: dict[str, Callable[..., AdjacencyRepresentation]] = {
+    "dynarr": DynArrAdjacency,
+    "dynarr-nr": _dynarr_nr,
+    "treap": TreapAdjacency,
+    "hybrid": HybridAdjacency,
+    "vpart": VPartAdjacency,
+    "epart": EPartAdjacency,
+    "batched": BatchedAdjacency,
+}
+
+
+def make_representation(kind: str, n: int, **kwargs) -> AdjacencyRepresentation:
+    """Instantiate a representation by registry name.
+
+    Keyword arguments pass through to the concrete constructor (e.g.
+    ``degree_thresh`` for ``hybrid``, ``degrees`` for ``dynarr-nr``,
+    ``expected_m`` for ``dynarr``).
+    """
+    key = kind.strip().lower().replace("_", "-")
+    try:
+        factory = REPRESENTATIONS[key]
+    except KeyError:
+        raise GraphError(
+            f"unknown representation {kind!r}; available: {sorted(REPRESENTATIONS)}"
+        ) from None
+    return factory(n, **kwargs)

@@ -1,0 +1,193 @@
+"""Level-synchronous parallel breadth-first search (paper section 3.3).
+
+The paper's BFS is the level-synchronous PRAM algorithm of Bader & Madduri
+(ICPP 2006): O(diameter) parallel phases and optimal O(n + m) work, with a
+barrier per level and an unbalanced-degree optimisation that processes high-
+and low-degree frontier vertices in separate balanced partitions.  For
+dynamic graphs the paper augments the traversal with a time-stamp check —
+edges outside the query's time interval are filtered during the visit, which
+"requires no additional memory" (section 3.3, Figure 10).
+
+The implementation here is frontier-vectorised: each level gathers all
+frontier adjacencies with numpy index arithmetic (the Python-level work per
+level is O(1) calls), so correctness-scale runs are fast, and each level is
+recorded as one simulated phase — frontier width, edges scanned, heaviest
+frontier vertex — so the machine model sees the true level structure
+(few wide levels for small-world graphs, which is what makes the paper's
+Figure 10 scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adjacency.csr import CSRGraph
+from repro.errors import VertexError
+from repro.machine.profile import Phase, WorkProfile
+
+__all__ = ["BFSResult", "bfs", "bfs_profile"]
+
+#: ALU ops per scanned edge: gather index arithmetic, visited test, branch.
+_ALU_PER_EDGE = 8.0
+#: ALU ops per frontier vertex: offset loads, degree computation.
+_ALU_PER_VERTEX = 6.0
+
+
+@dataclass
+class BFSResult:
+    """Distances, parents and per-level statistics of one traversal.
+
+    ``dist[v] == -1`` means unreachable.  ``parent[source] == -1``.
+    ``frontier_sizes[i]`` / ``edges_scanned[i]`` describe level i;
+    ``max_frontier_degree[i]`` is the heaviest vertex expanded at level i
+    (the load-imbalance driver when adjacency lists are not split).
+    """
+
+    source: int
+    dist: np.ndarray
+    parent: np.ndarray
+    frontier_sizes: list[int] = field(default_factory=list)
+    edges_scanned: list[int] = field(default_factory=list)
+    max_frontier_degree: list[int] = field(default_factory=list)
+    ts_range: tuple[int, int] | None = None
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.frontier_sizes)
+
+    @property
+    def n_reached(self) -> int:
+        return int(np.count_nonzero(self.dist >= 0))
+
+    @property
+    def total_edges_scanned(self) -> int:
+        return int(sum(self.edges_scanned))
+
+    def reached(self) -> np.ndarray:
+        """Vertex ids reachable from the source (including it)."""
+        return np.nonzero(self.dist >= 0)[0]
+
+
+def bfs(
+    graph: CSRGraph,
+    source: int,
+    *,
+    ts_range: tuple[int, int] | None = None,
+    max_levels: int | None = None,
+) -> BFSResult:
+    """Breadth-first search from ``source``.
+
+    ``ts_range=(lo, hi)`` restricts the traversal to edges whose time label
+    lies in the inclusive interval — the paper's "augmented BFS with a check
+    for time-stamps".  ``max_levels`` optionally truncates the traversal
+    (used by bounded-depth queries).
+    """
+    if not 0 <= source < graph.n:
+        raise VertexError(f"source {source} out of range [0, {graph.n})")
+    if ts_range is not None and graph.ts is None:
+        raise VertexError("graph has no time-stamps; cannot filter by ts_range")
+
+    offsets = graph.offsets
+    targets = graph.targets
+    ts = graph.ts
+    dist = np.full(graph.n, -1, dtype=np.int64)
+    parent = np.full(graph.n, -1, dtype=np.int64)
+    dist[source] = 0
+
+    res = BFSResult(source=source, dist=dist, parent=parent, ts_range=ts_range)
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        starts = offsets[frontier]
+        ends = offsets[frontier + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        res.frontier_sizes.append(int(frontier.size))
+        res.edges_scanned.append(total)
+        res.max_frontier_degree.append(int(counts.max()) if counts.size else 0)
+        if max_levels is not None and level >= max_levels:
+            break
+        if total == 0:
+            break
+        # Flatten all adjacency ranges of the frontier into one index array.
+        reps = np.repeat(frontier, counts)
+        base = np.repeat(starts, counts)
+        offs = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        idx = base + offs
+        nbrs = targets[idx]
+        if ts_range is not None:
+            lo, hi = ts_range
+            keep = (ts[idx] >= lo) & (ts[idx] <= hi)
+            nbrs = nbrs[keep]
+            reps = reps[keep]
+        unvisited = dist[nbrs] < 0
+        nbrs = nbrs[unvisited]
+        reps = reps[unvisited]
+        if nbrs.size == 0:
+            break
+        uniq, first = np.unique(nbrs, return_index=True)
+        level += 1
+        dist[uniq] = level
+        parent[uniq] = reps[first]
+        frontier = uniq
+    return res
+
+
+def bfs_profile(
+    graph: CSRGraph,
+    result: BFSResult,
+    *,
+    name: str = "bfs",
+    degree_split: bool = True,
+) -> WorkProfile:
+    """Machine-independent work profile of a completed traversal.
+
+    One phase per BFS level, each with two barriers (frontier swap + visit
+    commit, as in the level-synchronous algorithm).  ``degree_split=True``
+    models the paper's unbalanced-degree optimisation ([4, 5]): high-degree
+    frontier vertices' adjacency lists are split across threads, so a level's
+    load-imbalance cap comes only from residual per-chunk skew; with the
+    optimisation off, one hub vertex can serialise an entire level.
+    """
+    footprint = float(graph.memory_bytes() + result.dist.nbytes + result.parent.nbytes)
+    phases = []
+    for i, (fsize, escan, maxdeg) in enumerate(
+        zip(result.frontier_sizes, result.edges_scanned, result.max_frontier_degree)
+    ):
+        if degree_split or escan == 0:
+            unit_frac = 0.0
+        else:
+            unit_frac = min(1.0, maxdeg / max(escan, 1))
+        ts_alu = 2.0 * escan if result.ts_range is not None else 0.0
+        phases.append(
+            Phase(
+                name=f"level{i}",
+                alu_ops=_ALU_PER_EDGE * escan + _ALU_PER_VERTEX * fsize + ts_alu,
+                # dist check + parent/dist writes are scattered over n.
+                rand_accesses=float(escan + fsize),
+                # adjacency blocks stream contiguously per frontier vertex
+                # (8B target + 8B time-stamp when filtering).
+                seq_bytes=(16.0 if result.ts_range is not None else 8.0) * escan,
+                footprint_bytes=footprint,
+                barriers=2.0,
+                max_unit_frac=unit_frac,
+            )
+        )
+    if not phases:
+        phases.append(Phase(name="level0", footprint_bytes=footprint))
+    return WorkProfile(
+        name,
+        tuple(phases),
+        meta={
+            "n": graph.n,
+            "arcs": graph.n_arcs,
+            "source": result.source,
+            "levels": result.n_levels,
+            "reached": result.n_reached,
+            "degree_split": degree_split,
+        },
+    )

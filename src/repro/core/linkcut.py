@@ -1,0 +1,336 @@
+"""Link-cut forest with parent pointers (paper section 3.1).
+
+The paper observes that for small-world networks the full self-adjusting
+Sleator–Tarjan machinery is unnecessary: *"a straightforward implementation
+of the link-cut tree would be to store with each vertex a pointer to its
+parent. This supports the link, cut, and parent in constant time, but the
+findroot operation would require a worst-case traversal of O(n) vertices for
+an arbitrary tree. However ... for low-diameter graphs such as small-world
+networks, this operation just requires a small number of hops, as the height
+of the tree is small."*
+
+:class:`LinkCutForest` is that structure: an int64 parent array, O(1)
+link / cut / parent, findroot by pointer chasing, and connectivity queries
+as two findroots.  Construction from a graph follows the paper: a lock-free
+level-synchronous parallel BFS produces the spanning tree of each component
+(one multi-rooted traversal covers the whole forest), with connected
+components supplying the roots.
+
+Beyond the paper's operations, :meth:`add_edge` (reroot + link, supporting
+arbitrary edge insertions) and :meth:`cut_with_replacement` (spanning-forest
+maintenance under deletions, searching the smaller side for a replacement
+edge) round the structure out into a usable dynamic-connectivity index; both
+are flagged as extensions in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adjacency.csr import CSRGraph
+from repro.core.components import ComponentsResult, connected_components
+from repro.errors import GraphError, NotInForestError, VertexError
+from repro.machine.profile import ProfileBuilder, WorkProfile
+
+__all__ = ["LinkCutForest", "ConstructionRecord"]
+
+_NIL = -1
+
+
+@dataclass(frozen=True)
+class ConstructionRecord:
+    """What building the forest cost (feeds Figure 7's profile)."""
+
+    profile: WorkProfile
+    components: ComponentsResult
+    levels: int
+    max_depth: int
+
+
+class LinkCutForest:
+    """Rooted spanning forest with parent pointers.
+
+    Vertices are 0..n-1; ``parent[v] == -1`` marks a root.  Every structural
+    operation keeps :attr:`version` monotonically increasing so dependent
+    indexes (query engines) can detect staleness.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise VertexError(f"vertex count must be >= 0, got {n}")
+        self.n = int(n)
+        self.parent = np.full(n, _NIL, dtype=np.int64)
+        self.version = 0
+        #: findroot pointer hops since the last counter reset (profiles).
+        self.hops = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_csr(cls, graph: CSRGraph) -> tuple["LinkCutForest", ConstructionRecord]:
+        """Build a spanning forest of ``graph`` (paper's parallel recipe).
+
+        Connected components determine one root per component (the paper
+        runs connected components to construct a forest of link-cut trees);
+        a single multi-source level-synchronous BFS from all roots then
+        assigns parent pointers — each BFS level is a parallel phase.
+        """
+        comps = connected_components(graph)
+        forest = cls(graph.n)
+        offsets, targets = graph.offsets, graph.targets
+        dist = np.full(graph.n, -1, dtype=np.int64)
+        roots = comps.roots()
+        dist[roots] = 0
+        frontier = roots
+        builder = ProfileBuilder("linkcut-construction", n=graph.n, arcs=graph.n_arcs)
+        builder.extend(comps.profile(graph).phases)
+        footprint = float(graph.memory_bytes() + 2 * 8 * graph.n)
+        level = 0
+        while frontier.size:
+            starts = offsets[frontier]
+            counts = offsets[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            reps = np.repeat(frontier, counts)
+            base = np.repeat(starts, counts)
+            offs = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            nbrs = targets[base + offs]
+            unvisited = dist[nbrs] < 0
+            nbrs = nbrs[unvisited]
+            reps = reps[unvisited]
+            builder.phase(
+                f"bfs-level{level}",
+                alu_ops=8.0 * total + 6.0 * frontier.size,
+                rand_accesses=float(total + frontier.size),
+                seq_bytes=8.0 * total,
+                footprint_bytes=footprint,
+                barriers=2.0,
+            )
+            if nbrs.size == 0:
+                break
+            uniq, first = np.unique(nbrs, return_index=True)
+            level += 1
+            dist[uniq] = level
+            forest.parent[uniq] = reps[first]
+            frontier = uniq
+        forest.version += 1
+        max_depth = int(dist.max()) if graph.n else 0
+        record = ConstructionRecord(
+            profile=builder.build(),
+            components=comps,
+            levels=level,
+            max_depth=max_depth,
+        )
+        return forest, record
+
+    # ------------------------------------------------------------------ #
+    # the paper's basic structural operations
+    # ------------------------------------------------------------------ #
+
+    def parent_of(self, v: int) -> int:
+        """``parent(v)`` — -1 for roots (O(1))."""
+        self._check(v)
+        return int(self.parent[v])
+
+    def is_root(self, v: int) -> bool:
+        self._check(v)
+        return self.parent[v] == _NIL
+
+    def link(self, v: int, w: int) -> None:
+        """``link(v, w)``: create an arc from root ``v`` to vertex ``w``.
+
+        Per Sleator–Tarjan, ``v`` must currently be a root, and linking must
+        not create a cycle (i.e. ``w`` must lie in a different tree).
+        """
+        self._check(v)
+        self._check(w)
+        if self.parent[v] != _NIL:
+            raise GraphError(f"link source {v} is not a root")
+        if self.findroot(w) == v:
+            raise GraphError(f"link({v}, {w}) would create a cycle")
+        self.parent[v] = w
+        self.version += 1
+
+    def cut(self, v: int) -> int:
+        """``cut(v)``: delete the arc from ``v`` to its parent.
+
+        Returns the former parent; raises if ``v`` was already a root.
+        """
+        self._check(v)
+        p = int(self.parent[v])
+        if p == _NIL:
+            raise NotInForestError(f"cut({v}): vertex is a root")
+        self.parent[v] = _NIL
+        self.version += 1
+        return p
+
+    def findroot(self, v: int) -> int:
+        """Chase parent pointers to the root; O(depth) ≈ O(diameter)."""
+        self._check(v)
+        parent = self.parent
+        hops = 0
+        while parent[v] != _NIL:
+            v = int(parent[v])
+            hops += 1
+        self.hops += hops
+        return v
+
+    def connected(self, u: int, v: int) -> bool:
+        """Connectivity query: two findroot operations (paper section 3.1)."""
+        return self.findroot(u) == self.findroot(v)
+
+    # ------------------------------------------------------------------ #
+    # vectorised batch operations
+    # ------------------------------------------------------------------ #
+
+    def findroot_batch(self, vertices) -> np.ndarray:
+        """Roots of many vertices at once.
+
+        Parallel pointer chasing: all chains advance one hop per vector
+        pass, so the pass count equals the maximum depth — the simulated
+        machine runs the queries concurrently the same way.
+        """
+        v = np.asarray(vertices, dtype=np.int64).copy()
+        if v.size and (v.min() < 0 or v.max() >= self.n):
+            raise VertexError("vertex id out of range in findroot_batch")
+        parent = self.parent
+        active = parent[v] != _NIL
+        while np.any(active):
+            v[active] = parent[v[active]]
+            self.hops += int(np.count_nonzero(active))
+            active = parent[v] != _NIL
+        return v
+
+    def connected_batch(self, us, vs) -> np.ndarray:
+        """Vectorised connectivity queries (bool array)."""
+        return self.findroot_batch(us) == self.findroot_batch(vs)
+
+    def depths(self) -> np.ndarray:
+        """Depth of every vertex (roots at depth 0).
+
+        All chains advance one hop per vector pass; pass count equals the
+        maximum tree depth, mirroring how the simulated machine would chase
+        the pointers concurrently.
+        """
+        depth = np.zeros(self.n, dtype=np.int64)
+        cur = self.parent.copy()
+        active = cur != _NIL
+        while np.any(active):
+            depth[active] += 1
+            cur[active] = self.parent[cur[active]]
+            active = cur != _NIL
+        return depth
+
+    # ------------------------------------------------------------------ #
+    # extensions: general edge insertion / deletion on the forest
+    # ------------------------------------------------------------------ #
+
+    def reroot(self, v: int) -> None:
+        """Make ``v`` the root of its tree by reversing the root path."""
+        self._check(v)
+        prev = _NIL
+        cur = v
+        while cur != _NIL:
+            nxt = int(self.parent[cur])
+            self.parent[cur] = prev
+            self.hops += 1
+            prev = cur
+            cur = nxt
+        self.version += 1
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert edge (u, v) into the spanning forest if it joins two trees.
+
+        Returns True when the forest changed (tree edge), False when u and v
+        were already connected (non-tree edge — a connectivity index keeps
+        it in its adjacency structure only).
+        """
+        self._check(u)
+        self._check(v)
+        if self.connected(u, v):
+            return False
+        self.reroot(v)
+        self.link(v, u)
+        return True
+
+    def cut_with_replacement(self, child: int, rep) -> int | None:
+        """Cut the tree edge above ``child`` and search for a replacement.
+
+        ``rep`` is any adjacency source with ``neighbors(v)`` (a dynamic
+        representation or CSR snapshot) holding the *graph* edges.  After
+        the cut the component splits in two; the **smaller** side is swept
+        for an edge crossing back (one root scan + one pass over the smaller
+        side's adjacency, the classic bound).  If a crossing edge (x, y)
+        with x inside is found, the forest is relinked through it and the
+        far endpoint y is returned; otherwise None and the split stands.
+        """
+        old_parent = self.cut(child)
+        roots = self.findroot_batch(np.arange(self.n, dtype=np.int64))
+        child_root = roots[child]
+        parent_root = roots[old_parent]
+        side_child = np.nonzero(roots == child_root)[0]
+        side_parent = np.nonzero(roots == parent_root)[0]
+        sweep = side_child if side_child.size <= side_parent.size else side_parent
+        inside = np.zeros(self.n, dtype=bool)
+        inside[sweep] = True
+        for x in sweep.tolist():
+            nbrs = rep.neighbors(x)
+            outside = nbrs[~inside[nbrs]]
+            for y in outside.tolist():
+                if x == child and y == old_parent:
+                    continue  # the edge being deleted may still be visible
+                if x == old_parent and y == child:
+                    continue
+                self.reroot(x)
+                self.link(x, int(y))
+                return int(y)
+        return None
+
+    def tree_vertices(self, v: int) -> np.ndarray:
+        """All vertices in ``v``'s tree (vectorised root comparison)."""
+        root = self.findroot(v)
+        return np.nonzero(self.findroot_batch(np.arange(self.n)) == root)[0]
+
+    # ------------------------------------------------------------------ #
+
+    def roots(self) -> np.ndarray:
+        """All current roots (one per tree)."""
+        return np.nonzero(self.parent == _NIL)[0]
+
+    def n_trees(self) -> int:
+        return int(np.count_nonzero(self.parent == _NIL))
+
+    def memory_bytes(self) -> int:
+        return int(self.parent.nbytes)
+
+    def validate(self) -> None:
+        """Check the forest invariant: no cycles, all parents in range.
+
+        O(n · depth); testing/debugging aid.
+        """
+        in_range = (self.parent >= _NIL) & (self.parent < self.n)
+        if not np.all(in_range):
+            raise GraphError("parent pointers out of range")
+        # Every chain must terminate: depths() diverges on a cycle, so walk
+        # with an explicit bound instead.
+        v = np.arange(self.n, dtype=np.int64)
+        for _ in range(self.n + 1):
+            nxt = np.where(self.parent[v] != _NIL, self.parent[v], v)
+            if np.array_equal(nxt, v):
+                return
+            v = nxt
+        raise GraphError("cycle detected in parent pointers")
+
+    def _check(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise VertexError(f"vertex id {v} out of range [0, {self.n})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinkCutForest(n={self.n}, trees={self.n_trees()})"

@@ -1,0 +1,119 @@
+"""PageRank by power iteration (the paper's "Web algorithms" application).
+
+The paper names Web algorithms among the application domains its techniques
+impact (section 1); PageRank is the canonical such kernel and a natural
+member of a SNAP-style toolkit.  Fully vectorised: each power-iteration
+step is one sparse matvec over the CSR arcs (an embarrassingly parallel
+phase with a barrier), with dangling-vertex mass redistributed uniformly —
+matching networkx's convention, which the tests validate against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adjacency.csr import CSRGraph
+from repro.errors import GraphError
+from repro.machine.profile import Phase, WorkProfile
+
+__all__ = ["PageRankResult", "pagerank"]
+
+
+@dataclass(frozen=True)
+class PageRankResult:
+    """Scores (summing to 1) plus convergence statistics."""
+
+    scores: np.ndarray
+    iterations: int
+    converged: bool
+    residual: float
+    profile: WorkProfile
+    meta: dict = field(default_factory=dict)
+
+    def top(self, k: int = 10) -> list[tuple[int, float]]:
+        order = np.argsort(self.scores)[::-1][:k]
+        return [(int(v), float(self.scores[v])) for v in order]
+
+
+def pagerank(
+    graph: CSRGraph,
+    *,
+    alpha: float = 0.85,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+    personalization: np.ndarray | None = None,
+    name: str = "pagerank",
+) -> PageRankResult:
+    """PageRank over the stored arcs (directed semantics).
+
+    Undirected snapshots store both arc directions, giving the undirected
+    PageRank.  ``personalization`` is an optional restart distribution
+    (normalised internally); convergence is L1 residual below ``tol``.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise GraphError(f"alpha must be in (0, 1), got {alpha}")
+    if max_iter < 1:
+        raise GraphError(f"max_iter must be >= 1, got {max_iter}")
+    n = graph.n
+    if n == 0:
+        return PageRankResult(
+            np.empty(0, dtype=np.float64), 0, True, 0.0,
+            WorkProfile(name, (Phase("empty"),)),
+        )
+    deg = graph.degrees().astype(np.float64)
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
+    dst = graph.targets
+    dangling = deg == 0
+
+    if personalization is None:
+        restart = np.full(n, 1.0 / n, dtype=np.float64)
+    else:
+        restart = np.asarray(personalization, dtype=np.float64)
+        if restart.shape != (n,) or np.any(restart < 0) or restart.sum() <= 0:
+            raise GraphError("personalization must be a non-negative length-n vector")
+        restart = restart / restart.sum()
+
+    x = restart.copy()
+    out_w = np.zeros(n, dtype=np.float64)
+    np.divide(1.0, deg, out=out_w, where=deg > 0)
+    footprint = float(graph.memory_bytes() + 4 * 8 * n)
+    iterations = 0
+    residual = np.inf
+    converged = False
+    for iterations in range(1, max_iter + 1):
+        contrib = x * out_w
+        nxt = np.zeros(n, dtype=np.float64)
+        np.add.at(nxt, dst, contrib[src])
+        dangling_mass = float(x[dangling].sum())
+        nxt = alpha * (nxt + dangling_mass * restart) + (1.0 - alpha) * restart
+        residual = float(np.abs(nxt - x).sum())
+        x = nxt
+        if residual < tol:
+            converged = True
+            break
+
+    profile = WorkProfile(
+        name,
+        (
+            Phase(
+                name="power-iteration",
+                alu_ops=6.0 * graph.n_arcs * iterations + 8.0 * n * iterations,
+                rand_accesses=float(graph.n_arcs) * iterations,
+                seq_bytes=16.0 * graph.n_arcs * iterations,
+                footprint_bytes=footprint,
+                atomics=float(graph.n_arcs) * iterations,  # concurrent adds
+                barriers=2.0 * iterations,
+            ),
+        ),
+        meta={"n": n, "arcs": graph.n_arcs, "iterations": iterations,
+              "alpha": alpha},
+    )
+    return PageRankResult(
+        scores=x,
+        iterations=iterations,
+        converged=converged,
+        residual=residual,
+        profile=profile,
+    )

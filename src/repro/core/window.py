@@ -1,0 +1,189 @@
+"""Sliding-window graph maintenance.
+
+The streaming pattern the paper's applications imply (communication traffic,
+interaction monitoring): only the last W time units of interactions matter.
+:class:`SlidingWindowGraph` packages it — each arriving batch of time-stamped
+edges is inserted into a dynamic representation, and batches that age out of
+the window are deleted, exactly the sustained insert+delete churn the
+Hybrid-arr-treap structure exists for (sections 2.1.5, Figure 6).
+
+Optionally maintains a :class:`~repro.core.dynamic_connectivity.DynamicConnectivity`
+index so connectivity queries stay current without per-query rebuilds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adjacency.base import AdjacencyRepresentation
+from repro.adjacency.csr import CSRGraph, csr_from_representation
+from repro.adjacency.registry import make_representation
+from repro.core.dynamic_connectivity import DynamicConnectivity
+from repro.errors import GraphError, StreamError
+from repro.util.validation import check_vertex_ids
+
+__all__ = ["SlidingWindowGraph", "WindowBatch"]
+
+
+@dataclass(frozen=True)
+class WindowBatch:
+    """One ingested batch, retained until it ages out."""
+
+    tick: int
+    src: np.ndarray
+    dst: np.ndarray
+    ts: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.src.size)
+
+
+class SlidingWindowGraph:
+    """A graph of the most recent ``window`` ticks of an edge stream.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    window:
+        Number of ticks a batch stays live.
+    representation:
+        Adjacency structure (default ``hybrid`` — the sustained mixed
+        workload is its design point).
+    track_connectivity:
+        Maintain an incremental connectivity index alongside the
+        representation (costlier ingestion, O(depth) queries).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        window: int,
+        *,
+        representation: str | AdjacencyRepresentation = "hybrid",
+        track_connectivity: bool = False,
+        **rep_kwargs,
+    ) -> None:
+        if window < 1:
+            raise GraphError(f"window must be >= 1, got {window}")
+        self.n = int(n)
+        self.window = int(window)
+        self._batches: deque[WindowBatch] = deque()
+        self._tick = -1
+        self._conn: DynamicConnectivity | None = None
+        if track_connectivity:
+            self._conn = DynamicConnectivity(n, representation, **rep_kwargs)
+            self.rep = self._conn.rep
+        elif isinstance(representation, AdjacencyRepresentation):
+            if representation.n != n:
+                raise GraphError("representation vertex count mismatch")
+            self.rep = representation
+        else:
+            self.rep = make_representation(representation, n, **rep_kwargs)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tick(self) -> int:
+        """The most recent tick ingested (-1 before the first batch)."""
+        return self._tick
+
+    @property
+    def n_live_batches(self) -> int:
+        return len(self._batches)
+
+    @property
+    def n_edges(self) -> int:
+        """Live undirected edges (self-loops excluded on ingest)."""
+        return sum(b.size for b in self._batches)
+
+    def advance(self, src, dst, ts=None) -> int:
+        """Ingest one tick's batch; returns the number of edges expired.
+
+        Self-loops are dropped (they carry no connectivity information and
+        would break the arc arithmetic).  ``ts`` defaults to the tick
+        number, preserving temporal queries over the window.
+        """
+        src = check_vertex_ids(src, self.n, "src")
+        dst = check_vertex_ids(dst, self.n, "dst")
+        if src.size != dst.size:
+            raise StreamError("src and dst must be equal length")
+        self._tick += 1
+        if ts is None:
+            ts = np.full(src.size, self._tick, dtype=np.int64)
+        else:
+            ts = np.asarray(ts, dtype=np.int64)
+            if ts.shape != src.shape:
+                raise StreamError("ts must parallel src/dst")
+        keep = src != dst
+        batch = WindowBatch(self._tick, src[keep], dst[keep], ts[keep])
+
+        if self._conn is not None:
+            for u, v, t in zip(batch.src.tolist(), batch.dst.tolist(),
+                               batch.ts.tolist()):
+                self._conn.insert_edge(u, v, t)
+        else:
+            both_src = np.concatenate([batch.src, batch.dst])
+            both_dst = np.concatenate([batch.dst, batch.src])
+            both_ts = np.concatenate([batch.ts, batch.ts])
+            self.rep.bulk_insert(both_src, both_dst, both_ts)
+        self._batches.append(batch)
+
+        expired = 0
+        while len(self._batches) > self.window:
+            old = self._batches.popleft()
+            expired += old.size
+            if self._conn is not None:
+                for u, v in zip(old.src.tolist(), old.dst.tolist()):
+                    self._conn.delete_edge(u, v)
+            else:
+                for u, v in zip(old.src.tolist(), old.dst.tolist()):
+                    self.rep.delete(u, v)
+                    self.rep.delete(v, u)
+        return expired
+
+    # ------------------------------------------------------------------ #
+
+    def connected(self, u: int, v: int) -> bool:
+        """Connectivity within the current window.
+
+        O(depth) with ``track_connectivity``; otherwise falls back to a
+        fresh spanning forest over the snapshot (O(n + m)).
+        """
+        if self._conn is not None:
+            return self._conn.connected(u, v)
+        from repro.core.connectivity import ConnectivityIndex
+
+        return ConnectivityIndex.from_csr(self.snapshot()).query(u, v)
+
+    def n_components(self) -> int:
+        if self._conn is not None:
+            return self._conn.n_components()
+        from repro.core.components import connected_components
+
+        return connected_components(self.snapshot()).n_components
+
+    def snapshot(self) -> CSRGraph:
+        """CSR of the live window."""
+        return csr_from_representation(self.rep)
+
+    def validate(self) -> None:
+        """Invariants: arc count matches live batches; index consistent."""
+        expected_arcs = 2 * self.n_edges
+        if self.rep.n_arcs != expected_arcs:
+            raise GraphError(
+                f"window holds {self.n_edges} edges but the representation "
+                f"has {self.rep.n_arcs} arcs (expected {expected_arcs})"
+            )
+        if self._conn is not None:
+            self._conn.validate()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SlidingWindowGraph(n={self.n}, window={self.window}, "
+            f"tick={self._tick}, edges={self.n_edges})"
+        )

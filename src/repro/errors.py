@@ -1,0 +1,52 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with one ``except`` clause while
+still being able to distinguish the failure classes that matter in practice
+(bad vertex ids, malformed update streams, misconfigured machine models).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "VertexError",
+    "EdgeError",
+    "StreamError",
+    "MachineModelError",
+    "ProfileError",
+    "NotInForestError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """A graph-level invariant was violated (sizes, dtypes, topology)."""
+
+
+class VertexError(GraphError):
+    """A vertex id is out of range or otherwise invalid."""
+
+
+class EdgeError(GraphError):
+    """An edge endpoint/attribute is invalid, or an edge is missing."""
+
+
+class StreamError(ReproError):
+    """An update stream is malformed (bad op codes, shape mismatch)."""
+
+
+class MachineModelError(ReproError):
+    """A machine specification or cost-model parameter is invalid."""
+
+
+class ProfileError(ReproError):
+    """A work profile is malformed (negative counts, missing phases)."""
+
+
+class NotInForestError(ReproError):
+    """A link-cut tree operation referenced a vertex with no tree node."""

@@ -1,0 +1,69 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Each ``figNN`` module exposes ``run(quick=False) -> FigureResult``: it runs
+the real kernels at a reduced scale, scales the measured work profile to the
+paper's instance (see DESIGN.md §1 and :mod:`repro.machine.scale`), sweeps
+the simulated machine over thread counts, and returns the series the paper
+plots together with shape checks ("who wins, by what factor").
+
+``python -m repro.experiments`` runs everything and prints the tables used
+to fill EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.experiments.common import (
+    FigureResult,
+    SeriesSpec,
+    footprint_coefficients,
+    measured_scale,
+)
+
+FIGURE_MODULES = (
+    "fig01",
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+)
+
+
+def get_figure(name: str) -> Callable[..., FigureResult]:
+    """Resolve a figure's ``run`` callable by module name (lazy import)."""
+    if name not in FIGURE_MODULES:
+        raise KeyError(f"unknown figure {name!r}; available: {FIGURE_MODULES}")
+    mod = importlib.import_module(f"repro.experiments.{name}")
+    return mod.run
+
+
+def run_all(quick: bool = True) -> dict[str, FigureResult]:
+    """Run every figure reproduction; returns results keyed by module name."""
+    return {name: get_figure(name)(quick=quick) for name in FIGURE_MODULES}
+
+
+def __getattr__(name: str):
+    if name in FIGURE_MODULES or name == "ablations":
+        mod = importlib.import_module(f"repro.experiments.{name}")
+        globals()[name] = mod
+        return mod
+    raise AttributeError(f"module 'repro.experiments' has no attribute {name!r}")
+
+
+__all__ = [
+    "FigureResult",
+    "SeriesSpec",
+    "footprint_coefficients",
+    "measured_scale",
+    "FIGURE_MODULES",
+    "get_figure",
+    "run_all",
+]

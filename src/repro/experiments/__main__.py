@@ -1,0 +1,78 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments                 # all figures, quick scale
+    python -m repro.experiments --full          # full measured scale
+    python -m repro.experiments fig05 fig06     # a subset
+    python -m repro.experiments --ablations     # the ablation sweeps too
+
+Prints each figure's series tables and shape checks (the content recorded in
+EXPERIMENTS.md) and exits non-zero if any shape check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import FIGURE_MODULES, get_figure
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures on the simulated machines.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        default=list(FIGURE_MODULES),
+        help=f"figure modules to run (default: all of {', '.join(FIGURE_MODULES)})",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at full measured scale (slower, tighter extrapolation)",
+    )
+    parser.add_argument(
+        "--ablations",
+        action="store_true",
+        help="also run the four ablation sweeps",
+    )
+    args = parser.parse_args(argv)
+
+    failed = 0
+    for name in args.figures:
+        run = get_figure(name)
+        result = run(quick=not args.full)
+        print(result.render())
+        print()
+        if not result.all_passed:
+            failed += 1
+
+    if args.ablations:
+        from repro.experiments import ablations
+
+        for fn in (
+            ablations.run_resize_policy,
+            ablations.run_degree_thresh,
+            ablations.run_stream_order,
+            ablations.run_mix_ratio,
+            ablations.run_compression,
+            ablations.run_delta_sweep,
+        ):
+            result = fn(quick=not args.full)
+            print(result.render())
+            print()
+            if not result.all_passed:
+                failed += 1
+
+    if failed:
+        print(f"{failed} experiment(s) had failing shape checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""Figure 7 — link-cut tree construction time and speedup.
+
+Paper setup: small-world network of 10M vertices / 84M edges; construction
+(parallel BFS spanning tree + connected components) on UltraSPARC T2.
+Reported: about 3 seconds, with a speedup of 22 on 32 threads.
+"""
+
+from __future__ import annotations
+
+from repro.adjacency.csr import build_csr
+from repro.core.linkcut import LinkCutForest
+from repro.experiments.common import (
+    FigureResult,
+    T2_THREADS,
+    measured_scale,
+    scaled_sweep,
+)
+from repro.generators.rmat import rmat_graph
+from repro.machine.scale import ScaledInstance
+from repro.machine.spec import ULTRASPARC_T2
+from repro.util.seeding import DEFAULT_SEED
+
+__all__ = ["run", "TARGET_N", "TARGET_M", "build_measured_forest"]
+
+TARGET_N = 10_000_000
+TARGET_M = 84_000_000
+#: Paper instance density: m = 8.4 n.
+EDGE_FACTOR = 8.4
+
+
+def build_measured_forest(mscale: int, seed: int):
+    """Shared with Figure 8: (graph, csr, forest, construction record)."""
+    n0 = 1 << mscale
+    graph = rmat_graph(mscale, m=int(EDGE_FACTOR * n0), seed=seed)
+    csr = build_csr(graph)
+    forest, record = LinkCutForest.from_csr(csr)
+    return graph, csr, forest, record
+
+
+def run(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResult:
+    mscale = measured_scale(15, 12, quick)
+    graph, csr, forest, record = build_measured_forest(mscale, seed)
+    n0, m0 = graph.n, graph.m
+
+    # Footprint: CSR arcs + labels/dist/parent arrays.
+    bpv, bpe = 32.0, float(max(0.0, csr.memory_bytes() - 8 * n0)) / max(csr.n_arcs, 1) * 2
+    inst = ScaledInstance(
+        n_measured=n0, m_measured=m0,
+        n_target=TARGET_N, m_target=TARGET_M,
+        ops_measured=m0, ops_target=TARGET_M,
+        bytes_per_vertex=bpv, bytes_per_edge=bpe,
+    )
+    series = [
+        scaled_sweep(
+            record.profile, inst, ULTRASPARC_T2, T2_THREADS,
+            label="link-cut construction",
+            scale_barriers_with_diameter=True,
+        )
+    ]
+
+    fig = FigureResult(
+        figure="Figure 7",
+        title="Link-cut tree construction, UltraSPARC T2 (10M vertices / 84M edges)",
+        series=series,
+        notes=(
+            f"measured at n=2^{mscale} (m={m0}); construction = connected "
+            f"components + multi-source BFS; measured max tree depth "
+            f"{record.max_depth}, {record.components.n_components} components"
+        ),
+        meta={"measured_scale": mscale, "max_depth": record.max_depth},
+    )
+    s = fig.get("link-cut construction")
+    fig.check(
+        "construction takes ~3 s at full thread count (paper: 'about 3 seconds')",
+        1.0 <= s.seconds_at(64) <= 10.0,
+        f"{s.seconds_at(64):.2f} s at 64 threads",
+    )
+    fig.check(
+        "speedup ~22 on 32 threads (paper: 22)",
+        14.0 <= s.speedup_at(32) <= 30.0,
+        f"{s.speedup_at(32):.1f}",
+    )
+    fig.check(
+        "forest is a valid spanning forest of the measured graph",
+        forest.n_trees() == record.components.n_components,
+        f"{forest.n_trees()} trees vs {record.components.n_components} components",
+    )
+    return fig

@@ -1,0 +1,94 @@
+"""Figure 11 — approximate temporal betweenness centrality on UltraSPARC T2.
+
+Paper setup: R-MAT network of 33M vertices / 268M edges, integer time-stamps
+in [0, 20], temporal shortest paths, traversal from 256 randomly chosen
+sources with extrapolation of the centrality scores.  Reported: speedup of
+23 on 32 threads; the paper notes concurrency per phase is lower than plain
+BFS because edges are filtered at every phase.
+"""
+
+from __future__ import annotations
+
+from repro.adjacency.csr import build_csr
+from repro.core.betweenness import temporal_betweenness
+from repro.experiments.common import (
+    FigureResult,
+    T2_THREADS,
+    measured_scale,
+    scaled_sweep,
+)
+from repro.generators.rmat import rmat_graph
+from repro.machine.scale import ScaledInstance
+from repro.machine.spec import ULTRASPARC_T2
+from repro.util.seeding import DEFAULT_SEED, mix_seed
+
+__all__ = ["run", "TARGET_N", "TARGET_M", "N_SOURCES"]
+
+TARGET_N = 33_000_000
+TARGET_M = 268_000_000
+N_SOURCES = 256
+TS_RANGE = (0, 20)
+
+
+def run(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResult:
+    mscale = measured_scale(13, 11, quick)
+    n_sources = 64 if quick else N_SOURCES
+    graph = rmat_graph(mscale, 8, seed=seed, ts_range=TS_RANGE)
+    csr = build_csr(graph)
+    n0, m0 = graph.n, graph.m
+
+    res = temporal_betweenness(
+        csr, sources=n_sources, seed=mix_seed(seed, "fig11-sources"), temporal=True
+    )
+
+    # Work per source is proportional to the arcs scanned; the paper runs
+    # the same 256 sources at target scale, so ops scale by the per-source
+    # edge growth times the source-count ratio.
+    ops_target = int(
+        res.edges_scanned / max(1, n_sources) * N_SOURCES * (TARGET_M / m0)
+    )
+    inst = ScaledInstance(
+        n_measured=n0, m_measured=m0,
+        n_target=TARGET_N, m_target=TARGET_M,
+        ops_measured=res.edges_scanned, ops_target=ops_target,
+        bytes_per_vertex=48.0,  # dist/sigma/arr_min/delta/offsets
+        bytes_per_edge=32.0,
+    )
+    series = [
+        scaled_sweep(
+            res.profile, inst, ULTRASPARC_T2, T2_THREADS,
+            label="approx. temporal betweenness",
+            scale_barriers_with_diameter=True,
+        )
+    ]
+
+    fig = FigureResult(
+        figure="Figure 11",
+        title="Approximate temporal betweenness (256 sources), UltraSPARC T2",
+        series=series,
+        notes=(
+            f"measured at n=2^{mscale} with {n_sources} sources; "
+            f"{res.edges_scanned} arcs scanned over {res.total_levels} levels"
+        ),
+        meta={"measured_scale": mscale, "n_sources": n_sources},
+    )
+    s = fig.get("approx. temporal betweenness")
+    fig.check(
+        "speedup ~23 on 32 threads (paper: 23)",
+        15.0 <= s.speedup_at(32) <= 30.0,
+        f"{s.speedup_at(32):.1f}",
+    )
+    fig.check(
+        # The paper: "the amount of concurrency per phase is comparatively
+        # lower than breadth-first graph traversal" — temporal filtering
+        # thins each level, so scaling should flatten past 32 threads.
+        "concurrency is phase-limited (64-thread gain over 32 is modest)",
+        s.speedup_at(64) <= 1.6 * s.speedup_at(32),
+        f"{s.speedup_at(64):.1f} vs {s.speedup_at(32):.1f}",
+    )
+    fig.check(
+        "temporal filtering prunes the traversal (fewer arcs than 2 BFS passes)",
+        res.edges_scanned <= 2.0 * n_sources * 2 * m0,
+        f"{res.edges_scanned} arcs for {n_sources} sources on {2 * m0} arcs",
+    )
+    return fig

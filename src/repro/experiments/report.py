@@ -1,0 +1,96 @@
+"""Machine-readable export of the experiment results.
+
+``collect()`` runs the figure reproductions (and optionally the ablations)
+and flattens every series and check into plain dictionaries;
+``write_json()`` persists them — the artifact CI jobs archive next to
+EXPERIMENTS.md, diffable across calibration changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import FIGURE_MODULES, FigureResult, get_figure
+
+__all__ = ["figure_to_dict", "collect", "write_json"]
+
+
+def figure_to_dict(result: FigureResult) -> dict:
+    """Flatten one figure's series, rows and checks into JSON-safe dicts."""
+    out: dict = {
+        "figure": result.figure,
+        "title": result.title,
+        "notes": result.notes,
+        "all_passed": result.all_passed,
+        "checks": {
+            desc: {"passed": ok, "detail": detail}
+            for desc, (ok, detail) in result.checks.items()
+        },
+        "series": [],
+        "rows": [_jsonify_row(r) for r in result.rows],
+    }
+    for s in result.series:
+        r = s.result
+        entry = {
+            "label": s.label,
+            "machine": r.machine,
+            "threads": list(r.threads),
+            "seconds": [float(x) for x in r.seconds],
+            "speedups": [float(x) for x in r.speedups],
+        }
+        if r.mups is not None:
+            entry["mups"] = [float(x) for x in r.mups]
+        out["series"].append(entry)
+    return out
+
+
+def _jsonify_row(row: dict) -> dict:
+    out = {}
+    for k, v in row.items():
+        if isinstance(v, (np.integer,)):
+            out[k] = int(v)
+        elif isinstance(v, (np.floating,)):
+            out[k] = float(v)
+        else:
+            out[k] = v
+    return out
+
+
+def collect(
+    *,
+    quick: bool = True,
+    figures: list[str] | None = None,
+    include_ablations: bool = False,
+) -> dict:
+    """Run the reproductions and return one JSON-safe document."""
+    names = figures if figures is not None else list(FIGURE_MODULES)
+    doc: dict = {"mode": "quick" if quick else "full", "figures": {}}
+    for name in names:
+        doc["figures"][name] = figure_to_dict(get_figure(name)(quick=quick))
+    if include_ablations:
+        from repro.experiments import ablations
+
+        doc["ablations"] = {}
+        for key, fn in (
+            ("resize_policy", ablations.run_resize_policy),
+            ("degree_thresh", ablations.run_degree_thresh),
+            ("stream_order", ablations.run_stream_order),
+            ("mix_ratio", ablations.run_mix_ratio),
+            ("compression", ablations.run_compression),
+            ("delta_sweep", ablations.run_delta_sweep),
+        ):
+            doc["ablations"][key] = figure_to_dict(fn(quick=quick))
+    doc["all_passed"] = all(
+        f["all_passed"] for f in doc["figures"].values()
+    ) and all(a["all_passed"] for a in doc.get("ablations", {}).values())
+    return doc
+
+
+def write_json(path, **kwargs) -> dict:
+    """Collect and persist; returns the document."""
+    doc = collect(**kwargs)
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True))
+    return doc

@@ -1,0 +1,168 @@
+"""Deterministic and classical random reference graphs.
+
+These are the validation substrate: structures with known connectivity,
+diameters, and centrality values that the test suite checks the kernels
+against, plus Erdős–Rényi and Watts–Strogatz generators for property-based
+tests.  ``to_networkx`` bridges to the independent reference implementation
+used in integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.edgelist import EdgeList
+from repro.errors import GraphError
+from repro.util.seeding import make_rng
+from repro.util.validation import check_probability
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "erdos_renyi",
+    "watts_strogatz",
+    "to_networkx",
+]
+
+
+def path_graph(n: int) -> EdgeList:
+    """Path 0-1-2-…-(n-1); diameter n-1, the worst case for findroot."""
+    if n < 0:
+        raise GraphError(f"n must be >= 0, got {n}")
+    idx = np.arange(max(n - 1, 0), dtype=np.int64)
+    return EdgeList(n, idx, idx + 1, meta={"generator": "path"})
+
+
+def cycle_graph(n: int) -> EdgeList:
+    """Cycle on n vertices (n >= 3)."""
+    if n < 3:
+        raise GraphError(f"cycle needs n >= 3, got {n}")
+    idx = np.arange(n, dtype=np.int64)
+    return EdgeList(n, idx, (idx + 1) % n, meta={"generator": "cycle"})
+
+
+def star_graph(n: int) -> EdgeList:
+    """Star with centre 0 and n-1 leaves; the extreme degree-skew case."""
+    if n < 1:
+        raise GraphError(f"star needs n >= 1, got {n}")
+    leaves = np.arange(1, n, dtype=np.int64)
+    return EdgeList(n, np.zeros(n - 1, dtype=np.int64), leaves, meta={"generator": "star"})
+
+
+def complete_graph(n: int) -> EdgeList:
+    """K_n, each undirected edge stored once."""
+    if n < 1:
+        raise GraphError(f"complete graph needs n >= 1, got {n}")
+    src, dst = np.triu_indices(n, k=1)
+    return EdgeList(
+        n, src.astype(np.int64), dst.astype(np.int64), meta={"generator": "complete"}
+    )
+
+
+def grid_graph(rows: int, cols: int) -> EdgeList:
+    """rows x cols 4-neighbour grid; a high-diameter contrast to small worlds."""
+    if rows < 1 or cols < 1:
+        raise GraphError(f"grid needs positive dimensions, got {rows}x{cols}")
+    n = rows * cols
+    ids = np.arange(n, dtype=np.int64).reshape(rows, cols)
+    right_src = ids[:, :-1].ravel()
+    right_dst = ids[:, 1:].ravel()
+    down_src = ids[:-1, :].ravel()
+    down_dst = ids[1:, :].ravel()
+    return EdgeList(
+        n,
+        np.concatenate([right_src, down_src]),
+        np.concatenate([right_dst, down_dst]),
+        meta={"generator": "grid", "rows": rows, "cols": cols},
+    )
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    seed: int | np.random.Generator | None = None,
+) -> EdgeList:
+    """G(n, p) with each undirected pair included independently.
+
+    Vectorised over all C(n, 2) pairs, so intended for test-scale n.
+    """
+    if n < 0:
+        raise GraphError(f"n must be >= 0, got {n}")
+    check_probability(p, "p")
+    rng = make_rng(seed)
+    if n < 2:
+        return EdgeList(n, np.empty(0, np.int64), np.empty(0, np.int64))
+    src, dst = np.triu_indices(n, k=1)
+    keep = rng.random(src.size) < p
+    return EdgeList(
+        n,
+        src[keep].astype(np.int64),
+        dst[keep].astype(np.int64),
+        meta={"generator": "erdos_renyi", "p": p},
+    )
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    beta: float,
+    seed: int | np.random.Generator | None = None,
+) -> EdgeList:
+    """Watts–Strogatz small-world ring: n vertices, k nearest neighbours,
+    rewiring probability beta (the model behind the paper's 'small-world
+    phenomenon' reference [26]).
+
+    ``k`` must be even and < n.  Rewiring keeps the source endpoint and
+    redraws the destination uniformly, avoiding self-loops; duplicate edges
+    may result (as in the classical construction) and can be removed with
+    :meth:`EdgeList.deduplicated`.
+    """
+    if n <= 0:
+        raise GraphError(f"n must be positive, got {n}")
+    if k <= 0 or k % 2 != 0 or k >= n:
+        raise GraphError(f"k must be even and in (0, n), got k={k}, n={n}")
+    check_probability(beta, "beta")
+    rng = make_rng(seed)
+    base = np.arange(n, dtype=np.int64)
+    srcs, dsts = [], []
+    for hop in range(1, k // 2 + 1):
+        srcs.append(base)
+        dsts.append((base + hop) % n)
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    rewire = rng.random(src.size) < beta
+    new_dst = rng.integers(0, n, size=int(rewire.sum()), dtype=np.int64)
+    # Redraw any self-loop the rewiring produced.
+    loop = new_dst == src[rewire]
+    while np.any(loop):
+        new_dst[loop] = rng.integers(0, n, size=int(loop.sum()), dtype=np.int64)
+        loop = new_dst == src[rewire]
+    dst = dst.copy()
+    dst[rewire] = new_dst
+    return EdgeList(n, src, dst, meta={"generator": "watts_strogatz", "k": k, "beta": beta})
+
+
+def to_networkx(graph: EdgeList, *, multigraph: bool = False):
+    """Convert to a networkx graph (test/validation helper).
+
+    Imports networkx lazily — it is a test-only dependency.  Time-stamps are
+    attached as the ``ts`` edge attribute when present.
+    """
+    import networkx as nx
+
+    if multigraph:
+        G = nx.MultiDiGraph() if graph.directed else nx.MultiGraph()
+    else:
+        G = nx.DiGraph() if graph.directed else nx.Graph()
+    G.add_nodes_from(range(graph.n))
+    if graph.ts is not None:
+        G.add_edges_from(
+            (int(u), int(v), {"ts": int(t)})
+            for u, v, t in zip(graph.src, graph.dst, graph.ts)
+        )
+    else:
+        G.add_edges_from((int(u), int(v)) for u, v in zip(graph.src, graph.dst))
+    return G

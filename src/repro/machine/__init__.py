@@ -1,0 +1,50 @@
+"""Calibrated multicore machine models.
+
+This subpackage is the substitution substrate for the paper's hardware (see
+DESIGN.md §1): Sun UltraSPARC T1 / T2 "Niagara" multithreaded processors and
+the IBM Power 570 SMP.  Kernels in :mod:`repro.adjacency` and
+:mod:`repro.core` run for real and *measure* the work they perform into a
+:class:`~repro.machine.profile.WorkProfile`; the models here evaluate that
+profile at a given thread count and return the simulated execution time the
+paper's figures plot.
+
+Layering:
+
+* :mod:`repro.machine.spec` — architectural parameters per machine.
+* :mod:`repro.machine.profile` — machine-independent work descriptions.
+* :mod:`repro.machine.contention` — hot-spot and load-imbalance math.
+* :mod:`repro.machine.cost` — the cycle-level cost model.
+* :mod:`repro.machine.sim` — user-facing simulator (time / sweep / speedup).
+* :mod:`repro.machine.scale` — extrapolation of measured profiles to
+  paper-scale instances.
+"""
+
+from repro.machine.spec import (
+    MachineSpec,
+    ULTRASPARC_T1,
+    ULTRASPARC_T2,
+    POWER_570,
+    MACHINES,
+    get_machine,
+)
+from repro.machine.profile import Phase, WorkProfile, ProfileBuilder
+from repro.machine.cost import CostModel
+from repro.machine.sim import SimulatedMachine, ScalingResult
+from repro.machine.scale import ScaledInstance, scale_profile
+
+__all__ = [
+    "MachineSpec",
+    "ULTRASPARC_T1",
+    "ULTRASPARC_T2",
+    "POWER_570",
+    "MACHINES",
+    "get_machine",
+    "Phase",
+    "WorkProfile",
+    "ProfileBuilder",
+    "CostModel",
+    "SimulatedMachine",
+    "ScalingResult",
+    "ScaledInstance",
+    "scale_profile",
+]

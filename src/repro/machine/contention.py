@@ -1,0 +1,114 @@
+"""Hot-spot and load-imbalance statistics.
+
+Section 2.1.1 of the paper identifies two parallel-performance hazards for
+update streams on power-law graphs: many threads atomically incrementing the
+same high-degree vertex's counter, and the load imbalance caused by one
+vertex owning a large share of the updates.  Both effects are *measured* here
+from the actual streams/structures and carried in the work profile
+(``atomic_max_addr`` / ``max_unit_frac``), rather than assumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import as_index_array
+
+__all__ = [
+    "max_multiplicity",
+    "hot_spot_stats",
+    "max_unit_fraction",
+    "effective_parallelism",
+    "windowed_hot_stats",
+]
+
+
+def max_multiplicity(keys) -> int:
+    """Largest number of occurrences of any single key.
+
+    Used for ``atomic_max_addr``: a stream of updates touching vertex
+    counters serialises at least to the hottest counter's count.
+    """
+    arr = as_index_array(keys, "keys")
+    if arr.size == 0:
+        return 0
+    _, counts = np.unique(arr, return_counts=True)
+    return int(counts.max())
+
+
+def hot_spot_stats(keys) -> tuple[int, int, float]:
+    """Return ``(total, max_per_key, max_fraction)`` for a key stream."""
+    arr = as_index_array(keys, "keys")
+    if arr.size == 0:
+        return 0, 0, 0.0
+    _, counts = np.unique(arr, return_counts=True)
+    mx = int(counts.max())
+    return int(arr.size), mx, mx / arr.size
+
+
+def max_unit_fraction(unit_work) -> float:
+    """Largest indivisible share of a divisible workload.
+
+    ``unit_work`` is per-unit work (e.g. per-vertex update counts, or
+    per-vertex adjacency sizes when work is partitioned by vertex).  The
+    result feeds ``Phase.max_unit_frac``.
+    """
+    w = np.asarray(unit_work, dtype=np.float64)
+    if w.ndim != 1:
+        raise ValueError(f"unit_work must be 1-D, got shape {w.shape}")
+    if w.size == 0:
+        return 0.0
+    if np.any(w < 0):
+        raise ValueError("unit_work entries must be non-negative")
+    total = float(w.sum())
+    if total == 0.0:
+        return 0.0
+    return float(w.max()) / total
+
+
+def windowed_hot_stats(keys, window: int) -> tuple[int, float]:
+    """Peak single-key count within any contiguous window of the stream.
+
+    Models the *time-localised* contention the paper's shuffling remedy
+    targets (section 2.1.1): "a stream of contiguous insertions
+    corresponding to adjacencies of one vertex" makes every thread fight
+    over one counter *right now*, even if the vertex's global share of the
+    stream is modest.  Returns ``(max_in_window, max_in_window / window)``.
+
+    The window should be on the order of the number of updates in flight
+    across the machine at once (e.g. ``len(stream) // n_threads`` for
+    chunk-scheduled loops).
+    """
+    arr = as_index_array(keys, "keys")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if arr.size == 0:
+        return 0, 0.0
+    window = min(window, arr.size)
+    worst = 0
+    # Slide in half-window hops: every burst of length >= window/2 is seen
+    # whole in at least one inspected window, so the estimate is within 2x
+    # while staying O(n) instead of O(n * window).
+    step = max(1, window // 2)
+    for start in range(0, arr.size, step):
+        chunk = arr[start : start + window]
+        if chunk.size:
+            _, counts = np.unique(chunk, return_counts=True)
+            worst = max(worst, int(counts.max()))
+    return worst, worst / window
+
+
+def effective_parallelism(p: int, max_unit_frac: float) -> float:
+    """Threads that can be kept busy given the largest indivisible unit.
+
+    With one unit owning fraction ``f`` of the work, the phase cannot finish
+    faster than that unit runs on one thread, so speedup is capped at
+    ``1/f``; below the cap, all ``p`` threads are effective.
+    """
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    if not 0.0 <= max_unit_frac <= 1.0:
+        raise ValueError(f"max_unit_frac must be in [0,1], got {max_unit_frac}")
+    if max_unit_frac == 0.0:
+        return float(p)
+    return float(min(p, 1.0 / max_unit_frac))

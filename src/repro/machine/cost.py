@@ -1,0 +1,175 @@
+"""Cycle-level cost model.
+
+Turns a :class:`~repro.machine.profile.Phase` into simulated cycles on a
+:class:`~repro.machine.spec.MachineSpec` at a given software-thread count.
+
+The model is deliberately simple and additive — five components summed per
+phase — because its job is to reproduce the *shapes* of the paper's curves
+from measured work, not to be a microarchitecture simulator:
+
+``alu``
+    Total ops divided by the machine's aggregate issue throughput at ``p``
+    threads (pipeline sharing between SMT threads lives here).
+``random memory``
+    The dominant term for sparse-graph work.  Dependent random accesses pay
+    the footprint-determined average latency, overlapped up to the machine's
+    memory-level parallelism at ``p`` threads, floored by the DRAM bandwidth
+    needed for the missed lines.  This term produces both the Figure-1 cache
+    cliff (footprint crosses the L2 size) and the saturating speedup curves
+    (MLP cap on Niagara, bandwidth roof on Power5).
+``sequential memory``
+    Streamed traffic: bandwidth-bound once a few threads are active.
+``synchronisation``
+    Uncontended atomic/lock costs divided across threads, floored by the
+    hottest address's serial chain; plus per-phase barrier costs that grow
+    with ``p`` (this is what bends speedup curves down at high thread counts
+    for short phases such as BFS levels).
+``span``
+    Inherently serial cycles, added as-is.
+
+Load imbalance enters as ``max_unit_frac``: divisible work cannot be spread
+wider than ``1/max_unit_frac`` threads (one vertex's updates are processed by
+one thread in every representation the paper studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineModelError
+from repro.machine.contention import effective_parallelism
+from repro.machine.profile import Phase, WorkProfile
+from repro.machine.spec import MachineSpec
+
+__all__ = ["CostModel", "PhaseCost"]
+
+#: Issue-slot cost charged per sequential cache line streamed (address
+#: generation + loop overhead); calibrated, see tests/machine/test_calibration.py.
+_SEQ_CYCLES_PER_LINE = 4.0
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Per-component simulated cycles for one phase (for reports/debugging)."""
+
+    name: str
+    alu: float
+    rand_mem: float
+    seq_mem: float
+    sync: float
+    barrier: float
+    span: float
+
+    @property
+    def total(self) -> float:
+        return self.alu + self.rand_mem + self.seq_mem + self.sync + self.barrier + self.span
+
+
+class CostModel:
+    """Evaluate work profiles on one machine specification."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------ #
+    # per-phase evaluation
+    # ------------------------------------------------------------------ #
+
+    def hit_probability(self, footprint_bytes: float) -> float:
+        """Probability a random access hits the shared cache.
+
+        Uniform-random touches over a working set of size ``F`` hit a cache
+        of size ``C`` with probability ``min(1, C/F)`` in steady state; this
+        coarse rule reproduces the measured performance drop in Figure 1 as
+        the instance footprint crosses the L2 capacity.
+        """
+        if footprint_bytes < 0:
+            raise MachineModelError(f"footprint must be >= 0, got {footprint_bytes}")
+        if footprint_bytes <= self.spec.cache_bytes:
+            return 1.0
+        return self.spec.cache_bytes / footprint_bytes
+
+    def random_latency(self, footprint_bytes: float) -> float:
+        """Expected cycles per dependent random access for a working set."""
+        h = self.hit_probability(footprint_bytes)
+        return h * self.spec.cache_latency + (1.0 - h) * self.spec.dram_latency
+
+    def phase_cost(self, phase: Phase, threads: int) -> PhaseCost:
+        """Simulated cycles for one phase at ``threads`` software threads."""
+        if threads <= 0:
+            raise MachineModelError(f"thread count must be positive, got {threads}")
+        spec = self.spec
+        p = min(threads, spec.max_threads) if phase.parallel else 1
+        # Load imbalance: divisible work cannot use more than 1/frac threads.
+        p_div = effective_parallelism(p, phase.max_unit_frac)
+
+        # --- ALU ----------------------------------------------------------
+        issue = min(spec.issue_throughput(p), p_div)
+        alu = phase.alu_ops / issue if phase.alu_ops else 0.0
+        if phase.alu_ops_per_thread:
+            # Replicated per-thread work: one thread's share of the core's
+            # issue slots bounds how fast each copy runs.
+            per_thread_issue = spec.issue_throughput(p) / p
+            alu += phase.alu_ops_per_thread / per_thread_issue
+
+        # --- random memory -------------------------------------------------
+        rand = 0.0
+        if phase.rand_accesses:
+            lat = self.random_latency(phase.footprint_bytes)
+            conc = min(spec.memory_concurrency(p), p_div * spec.mlp_single_thread)
+            latency_bound = phase.rand_accesses * lat / conc
+            miss = 1.0 - self.hit_probability(phase.footprint_bytes)
+            bw_bound = phase.rand_accesses * miss * spec.line_bytes / spec.dram_bw_bytes_per_cycle
+            rand = max(latency_bound, bw_bound)
+
+        # --- sequential memory ---------------------------------------------
+        seq = 0.0
+        if phase.seq_bytes:
+            lines = phase.seq_bytes / spec.line_bytes
+            issue_bound = lines * _SEQ_CYCLES_PER_LINE / p_div
+            bw_bound = phase.seq_bytes / spec.dram_bw_bytes_per_cycle
+            seq = max(issue_bound, bw_bound)
+        if phase.seq_bytes_per_thread:
+            # Replicated streams: every thread reads its own full copy, so
+            # the aggregate bandwidth demand is p times one copy.
+            lines = phase.seq_bytes_per_thread / spec.line_bytes
+            issue_bound = lines * _SEQ_CYCLES_PER_LINE
+            bw_bound = p * phase.seq_bytes_per_thread / spec.dram_bw_bytes_per_cycle
+            seq += max(issue_bound, bw_bound)
+
+        # --- synchronisation -----------------------------------------------
+        sync = 0.0
+        if phase.atomics:
+            spread = phase.atomics * spec.atomic_cycles / p_div
+            serial = phase.atomic_max_addr * spec.atomic_cycles if p > 1 else 0.0
+            sync += max(spread, serial)
+        if phase.locks:
+            unit = spec.lock_cycles + phase.lock_hold_cycles
+            spread = phase.locks * unit / p_div
+            hot_hold = phase.lock_hold_max_cycles or phase.lock_hold_cycles
+            serial = phase.lock_max_addr * (spec.lock_cycles + hot_hold) if p > 1 else 0.0
+            sync += max(spread, serial)
+
+        # --- barriers & span -----------------------------------------------
+        barrier = 0.0
+        if phase.barriers and p > 1:
+            barrier = phase.barriers * (spec.barrier_base + spec.barrier_per_thread * p)
+        span = phase.span_cycles
+
+        return PhaseCost(phase.name, alu, rand, seq, sync, barrier, span)
+
+    # ------------------------------------------------------------------ #
+    # profile-level evaluation
+    # ------------------------------------------------------------------ #
+
+    def cycles(self, profile: WorkProfile, threads: int) -> float:
+        """Total simulated cycles of a profile at ``threads`` threads."""
+        return sum(self.phase_cost(ph, threads).total for ph in profile.phases)
+
+    def seconds(self, profile: WorkProfile, threads: int) -> float:
+        """Total simulated wall-clock seconds at ``threads`` threads."""
+        return self.cycles(profile, threads) / self.spec.clock_hz
+
+    def breakdown(self, profile: WorkProfile, threads: int) -> list[PhaseCost]:
+        """Per-phase cost components (reporting / debugging aid)."""
+        return [self.phase_cost(ph, threads) for ph in profile.phases]

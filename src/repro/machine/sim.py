@@ -1,0 +1,156 @@
+"""User-facing machine simulator.
+
+:class:`SimulatedMachine` wraps a :class:`~repro.machine.spec.MachineSpec`
+with the cost model and provides the operations the experiment harness needs:
+single-point timing, strong-scaling sweeps over thread counts, and MUPS
+(millions of updates per second) series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MachineModelError
+from repro.machine.cost import CostModel, PhaseCost
+from repro.machine.profile import WorkProfile
+from repro.machine.spec import MachineSpec, get_machine
+from repro.util.mups import speedup_series
+
+__all__ = ["SimulatedMachine", "ScalingResult", "default_thread_counts"]
+
+
+def default_thread_counts(spec: MachineSpec) -> tuple[int, ...]:
+    """Powers of two from 1 up to the machine's hardware-thread count."""
+    counts = []
+    p = 1
+    while p <= spec.max_threads:
+        counts.append(p)
+        p *= 2
+    if counts[-1] != spec.max_threads:
+        counts.append(spec.max_threads)
+    return tuple(counts)
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """A strong-scaling series: simulated times over thread counts.
+
+    ``rates`` is populated when the sweep was given a work item count
+    (updates, queries, edges) and holds items/second at each thread count.
+    """
+
+    machine: str
+    workload: str
+    threads: tuple[int, ...]
+    seconds: tuple[float, ...]
+    n_items: int | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.threads) != len(self.seconds):
+            raise MachineModelError("threads and seconds must be equal length")
+        if not self.threads:
+            raise MachineModelError("scaling result must be non-empty")
+
+    @property
+    def speedups(self) -> np.ndarray:
+        """Speedup relative to the lowest thread count in the sweep."""
+        return speedup_series(self.seconds)
+
+    @property
+    def rates(self) -> np.ndarray | None:
+        """Items per second at each thread count (None if no item count)."""
+        if self.n_items is None:
+            return None
+        return self.n_items / np.asarray(self.seconds)
+
+    @property
+    def mups(self) -> np.ndarray | None:
+        """Millions of items per second (paper's MUPS metric)."""
+        r = self.rates
+        return None if r is None else r / 1e6
+
+    def best(self) -> tuple[int, float]:
+        """(threads, seconds) at the fastest point of the sweep."""
+        i = int(np.argmin(self.seconds))
+        return self.threads[i], self.seconds[i]
+
+    def table(self) -> str:
+        """Render the series as an aligned text table (harness output)."""
+        header = f"{'threads':>8} {'time':>12} {'speedup':>9}"
+        if self.n_items is not None:
+            header += f" {'MUPS':>10}"
+        rows = [f"# {self.workload} on {self.machine}", header]
+        sp = self.speedups
+        mu = self.mups
+        for i, (t, s) in enumerate(zip(self.threads, self.seconds)):
+            line = f"{t:>8d} {s:>12.4g} {sp[i]:>9.2f}"
+            if mu is not None:
+                line += f" {mu[i]:>10.3f}"
+            rows.append(line)
+        return "\n".join(rows)
+
+
+class SimulatedMachine:
+    """A machine model ready to evaluate work profiles.
+
+    >>> from repro.machine import ULTRASPARC_T2, ProfileBuilder
+    >>> b = ProfileBuilder("demo")
+    >>> _ = b.phase("work", rand_accesses=1e8, footprint_bytes=1e9)
+    >>> m = SimulatedMachine(ULTRASPARC_T2)
+    >>> t1 = m.time(b.build(), threads=1)
+    >>> t64 = m.time(b.build(), threads=64)
+    >>> 20 < t1 / t64 < 40   # Niagara-2 latency hiding
+    True
+    """
+
+    def __init__(self, spec: MachineSpec | str) -> None:
+        if isinstance(spec, str):
+            spec = get_machine(spec)
+        self.spec = spec
+        self.model = CostModel(spec)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def time(self, profile: WorkProfile, threads: int) -> float:
+        """Simulated seconds for ``profile`` at ``threads`` threads."""
+        return self.model.seconds(profile, threads)
+
+    def breakdown(self, profile: WorkProfile, threads: int) -> list[PhaseCost]:
+        """Per-phase, per-component cycle breakdown."""
+        return self.model.breakdown(profile, threads)
+
+    def sweep(
+        self,
+        profile: WorkProfile,
+        threads: Sequence[int] | None = None,
+        *,
+        n_items: int | None = None,
+    ) -> ScalingResult:
+        """Strong-scaling sweep; defaults to powers of two up to max threads."""
+        counts = tuple(threads) if threads is not None else default_thread_counts(self.spec)
+        if not counts:
+            raise MachineModelError("thread sweep must be non-empty")
+        if any(t <= 0 for t in counts):
+            raise MachineModelError(f"thread counts must be positive: {counts}")
+        secs = tuple(self.time(profile, t) for t in counts)
+        return ScalingResult(
+            machine=self.spec.name,
+            workload=profile.name,
+            threads=counts,
+            seconds=secs,
+            n_items=n_items,
+            meta=dict(profile.meta),
+        )
+
+    def mups_at(self, profile: WorkProfile, threads: int, n_updates: int) -> float:
+        """MUPS of ``n_updates`` structural updates at ``threads`` threads."""
+        if n_updates < 0:
+            raise MachineModelError(f"n_updates must be >= 0, got {n_updates}")
+        t = self.time(profile, threads)
+        return n_updates / t / 1e6

@@ -1,0 +1,65 @@
+"""Wall-clock timing helpers.
+
+Real (host) execution time is only a secondary quantity in this library —
+the primary timings come from the machine simulator — but the experiment
+harness reports both, and the benchmarks use :class:`Timer` directly.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer", "format_seconds"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock time via ``perf_counter``.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+
+    The ``elapsed`` attribute keeps updating while the block runs and freezes
+    on exit, so it can also be polled from inside long loops.
+    """
+
+    __slots__ = ("_start", "_elapsed", "_running")
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self._elapsed = 0.0
+        self._running = False
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._running = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._elapsed = time.perf_counter() - self._start
+        self._running = False
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds (live while running, frozen after exit)."""
+        if self._running:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with a sensible unit (``ns``/``us``/``ms``/``s``)."""
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"

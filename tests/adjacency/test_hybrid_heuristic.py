@@ -1,0 +1,45 @@
+"""Tests for the runtime degree-threshold heuristic (paper section 2.1.5)."""
+
+import pytest
+
+from repro.adjacency.hybrid import (
+    DEFAULT_DEGREE_THRESH,
+    HybridAdjacency,
+    recommend_degree_thresh,
+)
+from repro.errors import GraphError
+
+
+class TestRecommendDegreeThresh:
+    def test_equal_mix_matches_paper(self):
+        assert recommend_degree_thresh(0.5) == DEFAULT_DEGREE_THRESH
+
+    def test_monotone_in_insert_fraction(self):
+        values = [recommend_degree_thresh(f) for f in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_insert_only_maximal(self):
+        assert recommend_degree_thresh(1.0) == 512
+
+    def test_delete_only_minimal(self):
+        assert recommend_degree_thresh(0.0) == 4
+
+    def test_clipping(self):
+        assert recommend_degree_thresh(0.999, hi=256) == 256
+        assert recommend_degree_thresh(0.001, lo=8) == 8
+
+    def test_invalid_fraction(self):
+        with pytest.raises(GraphError):
+            recommend_degree_thresh(1.5)
+        with pytest.raises(GraphError):
+            recommend_degree_thresh(-0.1)
+
+    def test_usable_to_construct(self):
+        thresh = recommend_degree_thresh(0.75)
+        rep = HybridAdjacency(16, degree_thresh=thresh, seed=1)
+        for i in range(thresh + 2):
+            rep.insert(0, i % 16)
+        assert rep.mode[0] == 1  # migrated right past the threshold
+
+    def test_reference_anchor_scales(self):
+        assert recommend_degree_thresh(0.5, reference=64) == 64

@@ -1,0 +1,88 @@
+"""Tests for the chunked memory pool."""
+
+import pytest
+
+from repro.adjacency.mempool import IntPool
+from repro.errors import GraphError
+
+
+class TestAlloc:
+    def test_bump_pointer(self):
+        p = IntPool(16)
+        assert p.alloc(4) == 0
+        assert p.alloc(4) == 4
+        assert p.used == 8
+
+    def test_zero_alloc(self):
+        p = IntPool(16)
+        off = p.alloc(0)
+        assert off == 0 and p.used == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            IntPool(16).alloc(-1)
+
+    def test_grows_by_doubling(self):
+        p = IntPool(4)
+        p.alloc(3)
+        p.alloc(3)  # forces growth
+        assert p.capacity >= 6
+        assert p.grow_events == 1
+
+    def test_growth_preserves_data(self):
+        p = IntPool(4)
+        off = p.alloc(3)
+        p.data[0, off : off + 3] = [7, 8, 9]
+        p.alloc(100)  # grow
+        assert p.data[0, off : off + 3].tolist() == [7, 8, 9]
+
+    def test_large_single_request(self):
+        p = IntPool(2)
+        p.alloc(1000)
+        assert p.capacity >= 1000
+
+
+class TestColumns:
+    def test_parallel_columns_share_offsets(self):
+        p = IntPool(8, columns=2)
+        off = p.alloc(3)
+        p.column(0)[off] = 1
+        p.column(1)[off] = 2
+        assert p.data[0, off] == 1 and p.data[1, off] == 2
+
+    def test_growth_preserves_all_columns(self):
+        p = IntPool(4, columns=3)
+        off = p.alloc(2)
+        for c in range(3):
+            p.column(c)[off] = c + 10
+        p.alloc(50)
+        assert [int(p.column(c)[off]) for c in range(3)] == [10, 11, 12]
+
+    def test_invalid_columns(self):
+        with pytest.raises(GraphError):
+            IntPool(4, columns=0)
+
+
+class TestAccounting:
+    def test_fill_value(self):
+        p = IntPool(4, fill_value=-1)
+        assert p.data[0, 0] == -1
+
+    def test_abandon(self):
+        p = IntPool(16)
+        p.alloc(8)
+        p.abandon(3)
+        assert p.abandoned == 3
+        assert p.live_bytes() == (8 - 3) * 8
+
+    def test_abandon_negative_rejected(self):
+        with pytest.raises(GraphError):
+            IntPool(4).abandon(-1)
+
+    def test_memory_bytes(self):
+        p = IntPool(10, columns=2)
+        assert p.memory_bytes() == 2 * 10 * 8
+
+    def test_invalid_capacity(self):
+        with pytest.raises(GraphError):
+            IntPool(0)

@@ -1,0 +1,45 @@
+"""Tests for the representation registry."""
+
+import numpy as np
+import pytest
+
+from repro.adjacency.registry import REPRESENTATIONS, make_representation
+from repro.errors import GraphError
+
+
+class TestMakeRepresentation:
+    @pytest.mark.parametrize(
+        "kind", ["dynarr", "treap", "hybrid", "vpart", "epart", "batched"]
+    )
+    def test_builds_each_kind(self, kind):
+        rep = make_representation(kind, 8)
+        assert rep.n == 8
+        rep.insert(0, 1)
+        assert rep.degree(0) == 1
+
+    def test_dynarr_nr_needs_degrees(self):
+        with pytest.raises(GraphError, match="degrees"):
+            make_representation("dynarr-nr", 8)
+
+    def test_dynarr_nr_with_degrees(self):
+        rep = make_representation("dynarr-nr", 4, degrees=np.array([2, 1, 0, 0]))
+        rep.insert(0, 1)
+        rep.insert(0, 2)
+        assert rep.kind == "dynarr-nr"
+
+    def test_name_normalisation(self):
+        assert make_representation("Dynarr_NR", 4, degrees=np.ones(4)).kind == "dynarr-nr"
+        assert make_representation("HYBRID", 4).kind == "hybrid"
+
+    def test_kwargs_forwarded(self):
+        rep = make_representation("hybrid", 4, degree_thresh=7)
+        assert rep.degree_thresh == 7
+
+    def test_unknown_kind(self):
+        with pytest.raises(GraphError, match="unknown representation"):
+            make_representation("btree", 4)
+
+    def test_registry_keys(self):
+        assert set(REPRESENTATIONS) == {
+            "dynarr", "dynarr-nr", "treap", "hybrid", "vpart", "epart", "batched",
+        }

@@ -1,0 +1,165 @@
+"""Tests for the treap representation, including its structural invariants."""
+
+import numpy as np
+import pytest
+
+from repro.adjacency.treap import TreapAdjacency, _NIL
+
+
+def check_treap_invariants(t: TreapAdjacency, u: int) -> int:
+    """Validate BST-by-key and heap-by-priority for vertex u; returns size."""
+    count = 0
+
+    def rec(node, lo, hi, max_prio):
+        nonlocal count
+        if node == _NIL:
+            return
+        count += 1
+        key = t._key[node]
+        assert lo <= key <= hi, "BST order violated"
+        assert t._prio[node] <= max_prio, "heap order violated"
+        rec(t._left[node], lo, key, t._prio[node])
+        rec(t._right[node], key, hi, t._prio[node])
+
+    rec(t.root[u], -(1 << 62), 1 << 62, 1 << 63)
+    return count
+
+
+class TestInsertDelete:
+    def test_basic(self):
+        t = TreapAdjacency(4, seed=1)
+        t.insert(0, 3, 30)
+        t.insert(0, 1, 10)
+        t.insert(0, 2, 20)
+        assert t.degree(0) == 3
+        assert t.neighbors(0).tolist() == [1, 2, 3]  # in-order = sorted
+        nbr, ts = t.neighbors_with_ts(0)
+        assert ts.tolist() == [10, 20, 30]
+
+    def test_invariants_after_many_ops(self):
+        t = TreapAdjacency(64, seed=2)
+        rng = np.random.default_rng(0)
+        live = []
+        for _ in range(300):
+            v = int(rng.integers(0, 50))
+            if rng.random() < 0.6 or not live:
+                t.insert(0, v)
+                live.append(v)
+            else:
+                target = live[int(rng.integers(0, len(live)))]
+                assert t.delete(0, target)
+                live.remove(target)
+            assert check_treap_invariants(t, 0) == len(live)
+        assert t.neighbors(0).tolist() == sorted(live)
+
+    def test_delete_missing(self):
+        t = TreapAdjacency(3, seed=1)
+        t.insert(0, 1)
+        assert not t.delete(0, 2)
+        assert t.stats.delete_misses == 1
+
+    def test_duplicate_keys(self):
+        t = TreapAdjacency(3, seed=1)
+        t.insert(0, 1)
+        t.insert(0, 1)
+        t.insert(0, 1)
+        assert t.degree(0) == 3
+        assert t.delete(0, 1)
+        assert t.degree(0) == 2
+        assert t.neighbors(0).tolist() == [1, 1]
+
+    def test_node_reuse_from_freelist(self):
+        t = TreapAdjacency(3, seed=1)
+        t.insert(0, 1)
+        t.delete(0, 1)
+        pool_size = t.n_nodes
+        t.insert(0, 2)
+        assert t.n_nodes == pool_size  # free-listed node reused
+
+    def test_has_arc(self):
+        t = TreapAdjacency(3, seed=1)
+        t.insert(0, 2)
+        assert t.has_arc(0, 2)
+        assert not t.has_arc(0, 1)
+        assert not t.has_arc(2, 0)
+
+    def test_counters_measure_depth(self):
+        t = TreapAdjacency(256, seed=3)
+        for v in range(200):
+            t.insert(0, v)
+        assert t.stats.nodes_visited > 200  # descents visit interior nodes
+        assert t.stats.rotations > 0
+
+    def test_deterministic_given_seed(self):
+        a = TreapAdjacency(16, seed=7)
+        b = TreapAdjacency(16, seed=7)
+        for v in [5, 3, 8, 1]:
+            a.insert(0, v)
+            b.insert(0, v)
+        assert a._key == b._key and a._prio == b._prio
+
+
+class TestSetOperations:
+    @pytest.fixture
+    def t(self):
+        t = TreapAdjacency(16, seed=4)
+        for v in [1, 3, 5, 7]:
+            t.insert(0, v)
+        for v in [3, 4, 5, 9]:
+            t.insert(1, v)
+        return t
+
+    def test_union(self, t):
+        assert t.union_neighbors(0, 1).tolist() == [1, 3, 4, 5, 7, 9]
+
+    def test_intersection(self, t):
+        assert t.intersect_neighbors(0, 1).tolist() == [3, 5]
+
+    def test_difference(self, t):
+        assert t.difference_neighbors(0, 1).tolist() == [1, 7]
+
+    def test_ops_do_not_mutate_operands(self, t):
+        t.union_neighbors(0, 1)
+        assert t.neighbors(0).tolist() == [1, 3, 5, 7]
+        assert t.neighbors(1).tolist() == [3, 4, 5, 9]
+
+    def test_empty_operand(self, t):
+        assert t.union_neighbors(0, 2).tolist() == [1, 3, 5, 7]
+        assert t.intersect_neighbors(0, 2).size == 0
+        assert t.difference_neighbors(2, 0).size == 0
+
+    def test_multiset_collapsed_to_set(self):
+        t = TreapAdjacency(8, seed=5)
+        for v in [1, 1, 2]:
+            t.insert(0, v)
+        t.insert(1, 2)
+        assert t.union_neighbors(0, 1).tolist() == [1, 2]
+
+    def test_random_against_python_sets(self):
+        rng = np.random.default_rng(6)
+        t = TreapAdjacency(64, seed=6)
+        a = set(rng.integers(0, 40, 25).tolist())
+        b = set(rng.integers(0, 40, 25).tolist())
+        for v in a:
+            t.insert(0, v)
+        for v in b:
+            t.insert(1, v)
+        assert t.union_neighbors(0, 1).tolist() == sorted(a | b)
+        assert t.intersect_neighbors(0, 1).tolist() == sorted(a & b)
+        assert t.difference_neighbors(0, 1).tolist() == sorted(a - b)
+
+
+class TestAccounting:
+    def test_memory_model(self):
+        t = TreapAdjacency(10, seed=1)
+        for v in range(5):
+            t.insert(0, v)
+        assert t.memory_bytes() == (5 * 5 + 10) * 8
+
+    def test_sync_uses_locks_not_atomics(self):
+        t = TreapAdjacency(3, seed=1)
+        t.insert(0, 1)
+        ph = t.phase("x")
+        assert ph.locks == 1.0
+        assert ph.atomics == 0.0
+        assert ph.lock_hold_cycles > 0

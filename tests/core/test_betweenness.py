@@ -1,0 +1,175 @@
+"""Tests for (temporal) betweenness centrality."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.adjacency.csr import build_csr
+from repro.core.betweenness import temporal_bc_exact, temporal_betweenness
+from repro.edgelist import EdgeList
+from repro.errors import GraphError
+from repro.generators.rmat import rmat_graph
+from repro.generators.reference import erdos_renyi, path_graph, star_graph, to_networkx
+
+
+class TestStaticBrandes:
+    """temporal=False must be exactly Brandes (vs networkx)."""
+
+    def test_matches_networkx_er(self, er_csr, er_nx):
+        res = temporal_betweenness(er_csr, temporal=False)
+        truth = nx.betweenness_centrality(er_nx, normalized=False)
+        # ours sums over ordered pairs -> exactly twice nx's undirected value
+        for v in range(er_csr.n):
+            assert res.scores[v] == pytest.approx(2 * truth[v], abs=1e-9)
+
+    def test_path_graph(self):
+        res = temporal_betweenness(build_csr(path_graph(5)), temporal=False)
+        # interior vertex i of a path lies on 2*i*(n-1-i) ordered pairs
+        assert res.scores.tolist() == [0.0, 6.0, 8.0, 6.0, 0.0]
+
+    def test_star_centre(self):
+        res = temporal_betweenness(build_csr(star_graph(6)), temporal=False)
+        assert res.scores[0] == pytest.approx(5 * 4)  # all ordered leaf pairs
+        assert np.all(res.scores[1:] == 0)
+
+    def test_dense_graph(self):
+        g = erdos_renyi(40, 0.3, seed=9)
+        res = temporal_betweenness(build_csr(g), temporal=False)
+        truth = nx.betweenness_centrality(to_networkx(g), normalized=False)
+        for v in range(g.n):
+            assert res.scores[v] == pytest.approx(2 * truth[v], abs=1e-9)
+
+
+class TestSampling:
+    def test_all_sources_when_none(self, er_csr):
+        res = temporal_betweenness(er_csr, temporal=False)
+        assert res.n_sources == er_csr.n
+
+    def test_sample_size(self, er_csr):
+        res = temporal_betweenness(er_csr, sources=16, seed=1, temporal=False)
+        assert res.n_sources == 16
+        assert np.unique(res.sources).size == 16
+
+    def test_extrapolation_scale(self, er_csr):
+        full = temporal_betweenness(er_csr, temporal=False)
+        approx = temporal_betweenness(er_csr, sources=er_csr.n // 2, seed=2,
+                                      temporal=False)
+        # same order of magnitude on the top vertex
+        top = int(np.argmax(full.scores))
+        assert approx.scores[top] > 0.2 * full.scores[top]
+
+    def test_explicit_sources(self, er_csr):
+        res = temporal_betweenness(er_csr, sources=np.array([0, 5]), temporal=False)
+        assert res.sources.tolist() == [0, 5]
+
+    def test_invalid_sample_size(self, er_csr):
+        with pytest.raises(GraphError):
+            temporal_betweenness(er_csr, sources=0)
+        with pytest.raises(GraphError):
+            temporal_betweenness(er_csr, sources=er_csr.n + 1)
+
+    def test_source_ids_validated(self, er_csr):
+        with pytest.raises(GraphError):
+            temporal_betweenness(er_csr, sources=np.array([er_csr.n]))
+
+    def test_deterministic_sampling(self, er_csr):
+        a = temporal_betweenness(er_csr, sources=8, seed=3, temporal=False)
+        b = temporal_betweenness(er_csr, sources=8, seed=3, temporal=False)
+        assert np.array_equal(a.scores, b.scores)
+
+
+class TestTemporalSemantics:
+    def test_requires_ts(self, er_csr):
+        with pytest.raises(GraphError):
+            temporal_betweenness(er_csr, temporal=True)
+
+    def test_increasing_labels_required(self, tiny_temporal):
+        csr = build_csr(tiny_temporal)
+        res = temporal_betweenness(csr, temporal=True)
+        # 0->1->2->3 valid (labels 1<2<3): vertices 1 and 2 carry flow.
+        assert res.scores[1] > 0 and res.scores[2] > 0
+        # 0->4->3 has labels 5 then 4 (invalid), but the reverse 3->4->0
+        # (4 < 5) and 2->3->4->0 (3 < 4 < 5) are valid, so vertex 4 mediates
+        # exactly those two pairs.
+        assert res.scores[4] == pytest.approx(2.0)
+        # End-to-end agreement with the exhaustive reference.
+        exact = temporal_bc_exact(tiny_temporal)
+        assert np.allclose(res.scores, exact)
+
+    def test_matches_exact_on_trees(self):
+        rng = np.random.default_rng(4)
+        for trial in range(5):
+            n = 12
+            src = np.arange(1, n)
+            dst = np.array([int(rng.integers(0, v)) for v in range(1, n)])
+            ts = rng.integers(0, 10, n - 1)
+            g = EdgeList(n, src, dst, ts=ts)
+            fast = temporal_betweenness(build_csr(g), temporal=True)
+            exact = temporal_bc_exact(g)
+            assert np.allclose(fast.scores, exact), f"trial {trial}"
+
+    def test_close_to_exact_on_sparse_random(self):
+        """The single-label relaxation is near-exact on sparse instances."""
+        rng = np.random.default_rng(8)
+        total_diff = 0.0
+        total_mass = 0.0
+        for trial in range(6):
+            g = erdos_renyi(10, 0.25, seed=100 + trial)
+            g = g.with_timestamps(rng.integers(0, 6, g.m))
+            fast = temporal_betweenness(build_csr(g), temporal=True)
+            exact = temporal_bc_exact(g)
+            total_diff += float(np.abs(fast.scores - exact).sum())
+            total_mass += float(exact.sum()) + 1e-12
+        assert total_diff <= 0.25 * total_mass
+
+    def test_all_equal_labels_means_single_hops_only(self):
+        g = EdgeList(4, np.array([0, 1, 2]), np.array([1, 2, 3]),
+                     ts=np.array([5, 5, 5]))
+        res = temporal_betweenness(build_csr(g), temporal=True)
+        # strictly increasing labels: no 2-edge temporal path exists
+        assert np.all(res.scores == 0)
+
+
+class TestExactReference:
+    def test_requires_ts(self):
+        with pytest.raises(GraphError):
+            temporal_bc_exact(path_graph(3))
+
+    def test_scale_guard(self):
+        g = rmat_graph(8, 4, seed=1, ts_range=(0, 5))
+        with pytest.raises(GraphError, match="exponential"):
+            temporal_bc_exact(g)
+
+    def test_parallel_edges_counted_separately(self):
+        # Two temporal copies of 0-1 (labels 1 and 2), then 1-2 (label 3):
+        # sigma(0->2) = 2, both paths through vertex 1, so the (0,2) pair
+        # contributes 2/2 = 1; the reverse pair (2,0) has no increasing-label
+        # path.  BC(1) = 1.
+        g = EdgeList(3, np.array([0, 0, 1]), np.array([1, 1, 2]),
+                     ts=np.array([1, 2, 3]))
+        exact = temporal_bc_exact(g)
+        assert exact[1] == pytest.approx(1.0)
+        # The fast kernel agrees here (both parallel arcs are feasible).
+        fast = temporal_betweenness(build_csr(g), temporal=True)
+        assert fast.scores[1] == pytest.approx(1.0)
+
+    def test_chain_value(self):
+        g = EdgeList(3, np.array([0, 1]), np.array([1, 2]), ts=np.array([1, 2]))
+        exact = temporal_bc_exact(g)
+        # 0->2 via 1 (labels 1<2) and 2->0 via 1 needs labels decreasing: only
+        # 2-(2)->1-(1)->0 has 2 then 1: not increasing. So BC(1) = 1.
+        assert exact.tolist() == [0.0, 1.0, 0.0]
+
+
+class TestResultHelpers:
+    def test_top(self, er_csr):
+        res = temporal_betweenness(er_csr, temporal=False)
+        top = res.top(3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_profile_phases(self, small_rmat_csr):
+        res = temporal_betweenness(small_rmat_csr, sources=8, seed=1, temporal=True)
+        names = [p.name for p in res.profile.phases]
+        assert names == ["traversal", "accumulation"]
+        assert res.profile.meta["n_sources"] == 8

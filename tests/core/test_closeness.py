@@ -1,0 +1,110 @@
+"""Tests for closeness and stress centrality."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.adjacency.csr import build_csr
+from repro.core.closeness import closeness_centrality, stress_centrality
+from repro.edgelist import EdgeList
+from repro.errors import GraphError
+from repro.generators.reference import erdos_renyi, path_graph, star_graph, to_networkx
+
+
+def brute_force_stress(G, n):
+    """Exhaustive stress via networkx all-shortest-paths (ordered pairs)."""
+    scores = np.zeros(n)
+    for s in G.nodes:
+        for t in G.nodes:
+            if s == t or not nx.has_path(G, s, t):
+                continue
+            for p in nx.all_shortest_paths(G, s, t):
+                for v in p[1:-1]:
+                    scores[v] += 1
+    return scores
+
+
+class TestCloseness:
+    def test_matches_networkx_er(self, er_csr, er_nx):
+        res = closeness_centrality(er_csr)
+        truth = nx.closeness_centrality(er_nx)  # wf_improved by default
+        for v in range(er_csr.n):
+            assert res.scores[v] == pytest.approx(truth[v], abs=1e-12)
+
+    def test_star_centre_highest(self):
+        res = closeness_centrality(build_csr(star_graph(10)))
+        assert np.argmax(res.scores) == 0
+
+    def test_path_interior_higher_than_ends(self):
+        res = closeness_centrality(build_csr(path_graph(7)))
+        assert res.scores[3] > res.scores[0]
+
+    def test_isolated_vertex_zero(self):
+        g = EdgeList(3, np.array([0]), np.array([1]))
+        res = closeness_centrality(build_csr(g))
+        assert res.scores[2] == 0.0
+
+    def test_sampling_scores_only_sample(self, er_csr):
+        res = closeness_centrality(er_csr, sources=np.array([3, 5]))
+        nonzero = np.nonzero(res.scores)[0]
+        assert set(nonzero.tolist()) <= {3, 5}
+
+    def test_ts_filter(self):
+        g = EdgeList(3, np.array([0, 1]), np.array([1, 2]), ts=np.array([1, 99]))
+        csr = build_csr(g)
+        full = closeness_centrality(csr, sources=np.array([0]))
+        early = closeness_centrality(csr, sources=np.array([0]), ts_range=(0, 10))
+        assert early.scores[0] < full.scores[0]
+
+    def test_invalid_sources(self, er_csr):
+        with pytest.raises(GraphError):
+            closeness_centrality(er_csr, sources=0)
+
+    def test_profile(self, er_csr):
+        res = closeness_centrality(er_csr, sources=4, seed=1)
+        assert res.profile.total("rand_accesses") > 0
+        assert res.n_sources == 4
+
+
+class TestStress:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_brute_force_er(self, seed):
+        g = erdos_renyi(25, 0.15, seed=seed)
+        csr = build_csr(g)
+        res = stress_centrality(csr)
+        truth = brute_force_stress(to_networkx(g), g.n)
+        assert np.allclose(res.scores, truth)
+
+    def test_path(self):
+        res = stress_centrality(build_csr(path_graph(5)))
+        # single shortest path per pair on a path graph: stress equals
+        # the (ordered) betweenness values
+        assert res.scores.tolist() == [0.0, 6.0, 8.0, 6.0, 0.0]
+
+    def test_star(self):
+        res = stress_centrality(build_csr(star_graph(6)))
+        assert res.scores[0] == pytest.approx(20.0)  # ordered leaf pairs
+
+    def test_parallel_paths_counted(self):
+        # diamond: 0-1-3 and 0-2-3: sigma(0,3)=2, each interior carries 1
+        g = EdgeList(4, np.array([0, 0, 1, 2]), np.array([1, 2, 3, 3]))
+        res = stress_centrality(build_csr(g))
+        truth = brute_force_stress(to_networkx(g), 4)
+        assert np.allclose(res.scores, truth)
+        assert res.scores[1] == res.scores[2] == 2.0  # both directions
+
+    def test_sampling_extrapolates(self, er_csr):
+        full = stress_centrality(er_csr)
+        approx = stress_centrality(er_csr, sources=er_csr.n // 2, seed=2)
+        top = int(np.argmax(full.scores))
+        assert approx.scores[top] > 0.2 * full.scores[top]
+
+    def test_stress_vs_betweenness_relation(self):
+        """On graphs with unique shortest paths, stress == betweenness."""
+        from repro.core.betweenness import temporal_betweenness
+
+        g = path_graph(6)
+        csr = build_csr(g)
+        stress = stress_centrality(csr)
+        bc = temporal_betweenness(csr, temporal=False)
+        assert np.allclose(stress.scores, bc.scores)

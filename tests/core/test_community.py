@@ -1,0 +1,163 @@
+"""Tests for triangles, k-cores and community detection."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.adjacency.csr import build_csr
+from repro.core.community import label_propagation_communities, modularity
+from repro.core.metrics import core_numbers, total_triangles, triangle_counts
+from repro.edgelist import EdgeList
+from repro.errors import GraphError
+from repro.generators.reference import (
+    complete_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+
+
+class TestTriangles:
+    def test_matches_networkx(self, er_csr, er_nx):
+        mine = triangle_counts(er_csr)
+        truth = nx.triangles(er_nx)
+        for v in range(er_csr.n):
+            assert mine[v] == truth[v]
+
+    def test_complete_graph(self):
+        csr = build_csr(complete_graph(5))
+        assert np.all(triangle_counts(csr) == 6)  # C(4,2)
+        assert total_triangles(csr) == 10  # C(5,3)
+
+    def test_triangle_free(self):
+        assert total_triangles(build_csr(star_graph(8))) == 0
+        assert total_triangles(build_csr(path_graph(8))) == 0
+
+    def test_single_triangle(self):
+        g = EdgeList(4, np.array([0, 1, 2, 0]), np.array([1, 2, 0, 3]))
+        counts = triangle_counts(build_csr(g))
+        assert counts.tolist() == [1, 1, 1, 0]
+
+    def test_duplicates_ignored(self):
+        g = EdgeList(3, np.array([0, 0, 1, 2]), np.array([1, 1, 2, 0]))
+        assert total_triangles(build_csr(g)) == 1
+
+    def test_dense_er(self):
+        g = erdos_renyi(40, 0.25, seed=23)
+        mine = triangle_counts(build_csr(g))
+        truth = nx.triangles(to_networkx(g))
+        assert all(mine[v] == truth[v] for v in range(g.n))
+
+
+class TestCoreNumbers:
+    def test_matches_networkx(self, er_csr, er_nx):
+        mine = core_numbers(er_csr)
+        truth = nx.core_number(er_nx)
+        for v in range(er_csr.n):
+            assert mine[v] == truth[v]
+
+    def test_complete_graph(self):
+        assert np.all(core_numbers(build_csr(complete_graph(6))) == 5)
+
+    def test_path(self):
+        assert np.all(core_numbers(build_csr(path_graph(6))) == 1)
+
+    def test_star(self):
+        cores = core_numbers(build_csr(star_graph(6)))
+        assert np.all(cores == 1)
+
+    def test_nested_cores(self):
+        # triangle attached to a pendant chain: triangle is 2-core, chain 1-core
+        g = EdgeList(5, np.array([0, 1, 2, 2, 3]), np.array([1, 2, 0, 3, 4]))
+        cores = core_numbers(build_csr(g))
+        assert cores.tolist() == [2, 2, 2, 1, 1]
+
+    def test_dense_er(self):
+        g = erdos_renyi(50, 0.2, seed=24)
+        mine = core_numbers(build_csr(g))
+        truth = nx.core_number(to_networkx(g))
+        assert all(mine[v] == truth[v] for v in range(g.n))
+
+
+class TestModularity:
+    def test_matches_networkx(self, er_csr, er_graph, er_nx):
+        res = label_propagation_communities(er_csr, seed=1)
+        mine = modularity(er_csr, res.labels)
+        truth = nx.community.modularity(
+            er_nx,
+            [set(c.tolist()) for c in res.communities()],
+        )
+        assert mine == pytest.approx(truth, abs=1e-9)
+
+    def test_single_community_zero(self):
+        csr = build_csr(complete_graph(5))
+        q = modularity(csr, np.zeros(5, dtype=np.int64))
+        assert q == pytest.approx(0.0)
+
+    def test_perfect_split(self):
+        # two disjoint triangles, labelled by component: Q = 1/2
+        g = EdgeList(6, np.array([0, 1, 2, 3, 4, 5]), np.array([1, 2, 0, 4, 5, 3]))
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        assert modularity(build_csr(g), labels) == pytest.approx(0.5)
+
+    def test_bad_labels_shape(self, er_csr):
+        with pytest.raises(GraphError):
+            modularity(er_csr, np.zeros(3))
+
+    def test_empty_graph(self):
+        g = EdgeList(3, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert modularity(build_csr(g), np.zeros(3, dtype=np.int64)) == 0.0
+
+
+class TestLabelPropagation:
+    def test_disjoint_cliques_found(self):
+        # two K4s joined by nothing: LPA must find exactly the two cliques
+        src, dst = [], []
+        for base in (0, 4):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    src.append(base + i)
+                    dst.append(base + j)
+        g = EdgeList(8, np.array(src), np.array(dst))
+        res = label_propagation_communities(build_csr(g), seed=3)
+        assert res.converged
+        assert res.n_communities == 2
+        assert len({int(x) for x in res.labels[:4]}) == 1
+        assert len({int(x) for x in res.labels[4:]}) == 1
+
+    def test_weakly_joined_cliques_positive_modularity(self):
+        src, dst = [], []
+        for base in (0, 5):
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    src.append(base + i)
+                    dst.append(base + j)
+        src.append(0)
+        dst.append(5)  # single bridge
+        g = EdgeList(10, np.array(src), np.array(dst))
+        csr = build_csr(g)
+        res = label_propagation_communities(csr, seed=4)
+        assert modularity(csr, res.labels) > 0.3
+
+    def test_labels_canonical(self, er_csr):
+        res = label_propagation_communities(er_csr, seed=5)
+        for c in res.communities():
+            assert int(res.labels[c[0]]) == int(c.min())
+
+    def test_deterministic_given_seed(self, er_csr):
+        a = label_propagation_communities(er_csr, seed=6)
+        b = label_propagation_communities(er_csr, seed=6)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_profile_one_phase_per_sweep(self, er_csr):
+        res = label_propagation_communities(er_csr, seed=7)
+        assert len(res.profile.phases) == res.n_sweeps
+
+    def test_max_sweeps_respected(self, er_csr):
+        res = label_propagation_communities(er_csr, max_sweeps=1, seed=8)
+        assert res.n_sweeps == 1
+
+    def test_invalid_max_sweeps(self, er_csr):
+        with pytest.raises(GraphError):
+            label_propagation_communities(er_csr, max_sweeps=0)

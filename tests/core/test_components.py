@@ -1,0 +1,84 @@
+"""Tests for connected components (validated against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.adjacency.csr import build_csr
+from repro.core.components import connected_components
+from repro.edgelist import EdgeList
+from repro.generators.reference import cycle_graph, path_graph, star_graph
+
+
+class TestCorrectness:
+    def test_matches_networkx(self, er_csr, er_nx):
+        res = connected_components(er_csr)
+        truth = list(nx.connected_components(er_nx))
+        assert res.n_components == len(truth)
+        for comp in truth:
+            labels = {int(res.labels[v]) for v in comp}
+            assert len(labels) == 1
+
+    def test_labels_are_canonical_minimum(self, er_csr, er_nx):
+        res = connected_components(er_csr)
+        for comp in nx.connected_components(er_nx):
+            assert int(res.labels[next(iter(comp))]) == min(comp)
+
+    def test_single_component(self):
+        res = connected_components(build_csr(cycle_graph(10)))
+        assert res.n_components == 1
+        assert np.all(res.labels == 0)
+
+    def test_all_isolated(self):
+        g = EdgeList(5, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        res = connected_components(build_csr(g))
+        assert res.n_components == 5
+        assert res.labels.tolist() == [0, 1, 2, 3, 4]
+
+    def test_two_components(self):
+        g = EdgeList(6, np.array([0, 1, 3, 4]), np.array([1, 2, 4, 5]))
+        res = connected_components(build_csr(g))
+        assert res.n_components == 2
+        assert res.same_component(0, 2)
+        assert not res.same_component(2, 3)
+
+    def test_directed_arcs_still_weakly_connect(self):
+        # One-directional CSR input: hooking propagates both ways.
+        g = EdgeList(3, np.array([0, 1]), np.array([1, 2]), directed=True)
+        res = connected_components(build_csr(g))
+        assert res.n_components == 1
+
+    def test_empty_graph(self):
+        g = EdgeList(0, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        res = connected_components(build_csr(g))
+        assert res.n_components == 0
+
+    def test_long_path_converges(self):
+        res = connected_components(build_csr(path_graph(500)))
+        assert res.n_components == 1
+
+
+class TestDerived:
+    def test_sizes_sum_to_n(self, er_csr):
+        res = connected_components(er_csr)
+        assert int(res.sizes().sum()) == er_csr.n
+
+    def test_largest(self, er_csr, er_nx):
+        root, size = connected_components(er_csr).largest()
+        truth = max(nx.connected_components(er_nx), key=len)
+        assert size == len(truth)
+        assert root == min(truth)
+
+    def test_roots_sorted_unique(self, er_csr):
+        roots = connected_components(er_csr).roots()
+        assert np.all(np.diff(roots) > 0)
+
+    def test_profile_has_pass_phases(self, er_csr):
+        res = connected_components(er_csr)
+        prof = res.profile(er_csr)
+        assert len(prof.phases) == res.n_passes
+        assert prof.total("atomics") > 0
+
+    def test_pass_count_logarithmic(self):
+        res = connected_components(build_csr(star_graph(1000)))
+        assert res.n_passes <= 4

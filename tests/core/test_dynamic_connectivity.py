@@ -1,0 +1,190 @@
+"""Tests for the fully dynamic connectivity index."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.dynamic_connectivity import DynamicConnectivity
+from repro.errors import GraphError
+from repro.generators.rmat import rmat_graph
+from repro.generators.streams import UpdateStream, insertion_stream, mixed_stream
+
+
+class TestBasics:
+    def test_insert_changes_connectivity(self):
+        dc = DynamicConnectivity(4)
+        assert dc.insert_edge(0, 1)
+        assert dc.connected(0, 1)
+        assert dc.n_components() == 3
+
+    def test_nontree_insert(self):
+        dc = DynamicConnectivity(4)
+        dc.insert_edge(0, 1)
+        dc.insert_edge(1, 2)
+        assert not dc.insert_edge(0, 2)  # already connected
+        assert dc.stats.tree_links == 2
+
+    def test_self_loop_no_connectivity_change(self):
+        dc = DynamicConnectivity(3)
+        assert not dc.insert_edge(1, 1)
+        assert dc.n_components() == 3
+        assert dc.delete_edge(1, 1)
+
+    def test_delete_missing(self):
+        dc = DynamicConnectivity(3)
+        assert not dc.delete_edge(0, 1)
+        assert dc.stats.delete_misses == 1
+
+    def test_delete_bridge_disconnects(self):
+        dc = DynamicConnectivity(3)
+        dc.insert_edge(0, 1)
+        dc.insert_edge(1, 2)
+        assert dc.delete_edge(0, 1)
+        assert not dc.connected(0, 1)
+        assert dc.connected(1, 2)
+        assert dc.stats.tree_cuts == 1
+        assert dc.stats.replacements_found == 0
+
+    def test_delete_cycle_edge_keeps_connectivity(self):
+        dc = DynamicConnectivity(4)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            dc.insert_edge(u, v)
+        assert dc.delete_edge(1, 2)
+        assert dc.connected(1, 2)
+        dc.validate()
+
+    def test_parallel_edge_keeps_tree_link(self):
+        dc = DynamicConnectivity(3)
+        dc.insert_edge(0, 1)
+        dc.insert_edge(0, 1)  # parallel copy
+        assert dc.delete_edge(0, 1)
+        assert dc.connected(0, 1)
+        assert dc.stats.parallel_edge_keeps >= 0  # either order is legal
+        assert dc.delete_edge(0, 1)
+        assert not dc.connected(0, 1)
+
+    def test_n_edges(self):
+        dc = DynamicConnectivity(4)
+        dc.insert_edge(0, 1)
+        dc.insert_edge(2, 3)
+        assert dc.n_edges == 2
+        dc.delete_edge(0, 1)
+        assert dc.n_edges == 1
+
+
+class TestAgainstNetworkx:
+    def _random_session(self, seed, n=24, steps=250, p_insert=0.6):
+        rng = np.random.default_rng(seed)
+        dc = DynamicConnectivity(n, seed=int(seed))
+        G = nx.MultiGraph()
+        G.add_nodes_from(range(n))
+        for step in range(steps):
+            u, v = (int(x) for x in rng.integers(0, n, 2))
+            if u == v:
+                continue
+            if rng.random() < p_insert:
+                dc.insert_edge(u, v)
+                G.add_edge(u, v)
+            else:
+                mine = dc.delete_edge(u, v)
+                theirs = G.has_edge(u, v)
+                assert mine == theirs, (step, u, v)
+                if theirs:
+                    G.remove_edge(u, v)
+            if step % 25 == 0:
+                self._check_equal(dc, G)
+        self._check_equal(dc, G)
+        dc.validate()
+        return dc
+
+    @staticmethod
+    def _check_equal(dc, G):
+        rng = np.random.default_rng(0)
+        n = dc.n
+        for _ in range(40):
+            a, b = (int(x) for x in rng.integers(0, n, 2))
+            assert dc.connected(a, b) == nx.has_path(G, a, b), (a, b)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_update_sessions(self, seed):
+        self._random_session(seed)
+
+    def test_deletion_heavy_session(self):
+        self._random_session(7, p_insert=0.45, steps=300)
+
+    def test_component_count_tracks_truth(self):
+        rng = np.random.default_rng(11)
+        n = 20
+        dc = DynamicConnectivity(n, seed=11)
+        G = nx.MultiGraph()
+        G.add_nodes_from(range(n))
+        for _ in range(150):
+            u, v = (int(x) for x in rng.integers(0, n, 2))
+            if u == v:
+                continue
+            if rng.random() < 0.55:
+                dc.insert_edge(u, v)
+                G.add_edge(u, v)
+            elif G.has_edge(u, v):
+                dc.delete_edge(u, v)
+                G.remove_edge(u, v)
+        assert dc.n_components() == nx.number_connected_components(G)
+
+
+class TestStreams:
+    def test_apply_stream(self):
+        graph = rmat_graph(8, 6, seed=61)
+        dc = DynamicConnectivity(graph.n, seed=1)
+        dc.apply(insertion_stream(graph))
+        dc.validate()
+        stream = mixed_stream(graph, 200, 0.5, seed=2)
+        dc.apply(stream)
+        dc.validate()
+
+    def test_apply_counts_misses(self):
+        dc = DynamicConnectivity(4)
+        stream = UpdateStream(
+            4,
+            np.array([-1, -1], dtype=np.int8),
+            np.array([0, 1]),
+            np.array([1, 2]),
+            np.zeros(2, dtype=np.int64),
+        )
+        assert dc.apply(stream) == 2
+
+    def test_stream_vertex_mismatch(self):
+        dc = DynamicConnectivity(4)
+        stream = UpdateStream(
+            5, np.array([1], dtype=np.int8), np.array([0]), np.array([1]),
+            np.zeros(1, dtype=np.int64),
+        )
+        with pytest.raises(GraphError):
+            dc.apply(stream)
+
+
+class TestProfiles:
+    def test_profile_structure(self):
+        dc = DynamicConnectivity(10, seed=1)
+        for u, v in [(0, 1), (1, 2), (2, 3), (0, 3)]:
+            dc.insert_edge(u, v)
+        dc.delete_edge(1, 2)
+        prof = dc.profile()
+        assert len(prof.phases) == 2
+        forest_phase = prof.phases[1]
+        assert forest_phase.locks >= dc.stats.tree_links
+
+    def test_replacement_scan_counted(self):
+        dc = DynamicConnectivity(4, seed=1)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            dc.insert_edge(u, v)
+        dc.delete_edge(0, 1)
+        assert dc.stats.replacement_scan_arcs > 0
+
+
+class TestValidate:
+    def test_detects_divergence(self):
+        dc = DynamicConnectivity(4)
+        dc.insert_edge(0, 1)
+        dc.forest.cut(dc.forest.parent_of(0) == 1 and 0 or 1)
+        with pytest.raises(GraphError):
+            dc.validate()

@@ -1,0 +1,94 @@
+"""Tests for edge betweenness centrality."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.adjacency.csr import build_csr
+from repro.core.betweenness import edge_betweenness
+from repro.edgelist import EdgeList
+from repro.errors import GraphError
+from repro.generators.reference import erdos_renyi, path_graph, star_graph, to_networkx
+
+
+class TestStatic:
+    def test_matches_networkx_er(self, er_csr, er_graph, er_nx):
+        res = edge_betweenness(er_csr)
+        truth = nx.edge_betweenness_centrality(er_nx, normalized=False)
+        mine = res.edge_scores()
+        for (u, v), val in truth.items():
+            key = (u, v) if u <= v else (v, u)
+            assert mine.get(key, 0.0) == pytest.approx(2 * val, abs=1e-9)
+
+    def test_path_graph(self):
+        res = edge_betweenness(build_csr(path_graph(4)))
+        scores = res.edge_scores()
+        # edge (1,2) carries the most pairs: 2 * 2 * 2 ordered crossings / 1
+        assert scores[(1, 2)] == pytest.approx(8.0)
+        assert scores[(0, 1)] == pytest.approx(6.0)
+
+    def test_star_edges_equal(self):
+        res = edge_betweenness(build_csr(star_graph(5)))
+        scores = res.edge_scores()
+        values = list(scores.values())
+        assert all(v == pytest.approx(values[0]) for v in values)
+        # each spoke carries: its own 2 + 2*(n-2) transit pairs (ordered)
+        assert values[0] == pytest.approx(2 + 2 * 3)
+
+    def test_dense_case(self):
+        g = erdos_renyi(40, 0.2, seed=19)
+        res = edge_betweenness(build_csr(g))
+        truth = nx.edge_betweenness_centrality(to_networkx(g), normalized=False)
+        mine = res.edge_scores()
+        for (u, v), val in truth.items():
+            key = (u, v) if u <= v else (v, u)
+            assert mine.get(key, 0.0) == pytest.approx(2 * val, abs=1e-9)
+
+    def test_top_sorted(self, er_csr):
+        res = edge_betweenness(er_csr)
+        top = res.top(5)
+        assert all(a[1] >= b[1] for a, b in zip(top, top[1:]))
+
+    def test_vertex_and_edge_consistency(self):
+        """An interior vertex's score equals pass-through edge flow minus
+        terminating flow (sanity relation on a path)."""
+        csr = build_csr(path_graph(5))
+        from repro.core.betweenness import temporal_betweenness
+
+        vres = temporal_betweenness(csr, temporal=False)
+        eres = edge_betweenness(csr).edge_scores()
+        # vertex 2 relays everything crossing both its edges
+        crossing = min(eres[(1, 2)], eres[(2, 3)])
+        assert vres.scores[2] <= crossing
+
+
+class TestSamplingAndTemporal:
+    def test_sampled_extrapolation(self, er_csr):
+        full = edge_betweenness(er_csr)
+        approx = edge_betweenness(er_csr, sources=er_csr.n // 2, seed=1)
+        top_key, top_val = full.top(1)[0]
+        assert approx.edge_scores().get(top_key, 0.0) > 0.2 * top_val
+
+    def test_temporal_filtering(self):
+        g = EdgeList(4, np.array([0, 1, 2]), np.array([1, 2, 3]),
+                     ts=np.array([1, 2, 3]))
+        res = edge_betweenness(build_csr(g), temporal=True)
+        scores = res.edge_scores()
+        # the ordered chain is traversable forward only; middle edge carries
+        # the 0->2, 0->3, 1->3 flows
+        assert scores[(1, 2)] > 0
+
+    def test_temporal_requires_ts(self, er_csr):
+        with pytest.raises(GraphError):
+            edge_betweenness(er_csr, temporal=True)
+
+    def test_invalid_sources(self, er_csr):
+        with pytest.raises(GraphError):
+            edge_betweenness(er_csr, sources=0)
+        with pytest.raises(GraphError):
+            edge_betweenness(er_csr, sources=np.array([er_csr.n]))
+
+    def test_arc_scores_shape(self, er_csr):
+        res = edge_betweenness(er_csr, sources=4, seed=2)
+        assert res.arc_scores.shape == (er_csr.n_arcs,)
+        assert res.n_sources == 4

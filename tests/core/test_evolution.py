@@ -1,0 +1,108 @@
+"""Tests for network-evolution timelines."""
+
+import numpy as np
+import pytest
+
+from repro.core.evolution import evolution_timeline
+from repro.edgelist import EdgeList
+from repro.errors import GraphError
+from repro.generators.rmat import rmat_graph
+
+
+@pytest.fixture
+def staged():
+    """Edges arriving in three clear stages.
+
+    Stage 0 creates two separate pairs; stage 1 bridges them; stage 2 pulls
+    in vertex 5 and closes the ring.
+    """
+    return EdgeList(
+        6,
+        np.array([0, 2, 1, 3, 0, 4]),
+        np.array([1, 3, 2, 4, 5, 5]),
+        ts=np.array([0, 0, 10, 10, 20, 20]),
+    )
+
+
+class TestWindows:
+    def test_tumbling_windows(self, staged):
+        tl = evolution_timeline(staged, window=10)
+        assert len(tl) == 3
+        assert [w.n_edges for w in tl.windows] == [2, 2, 2]
+        assert tl.windows[0].t_lo == 0 and tl.windows[0].t_hi == 9
+
+    def test_sliding_windows(self, staged):
+        tl = evolution_timeline(staged, window=15, step=5)
+        assert len(tl) == 5
+        # the first window [0,15) holds the first four edges
+        assert tl.windows[0].n_edges == 4
+
+    def test_cumulative_growth_monotone(self, staged):
+        tl = evolution_timeline(staged, window=10, cumulative=True)
+        edges = tl.series("n_edges")
+        assert list(edges) == [2, 4, 6]
+        active = tl.series("n_active_vertices")
+        assert all(a <= b for a, b in zip(active, active[1:]))
+
+    def test_giant_component_emerges(self, staged):
+        tl = evolution_timeline(staged, window=10, cumulative=True)
+        giant = tl.series("giant_fraction")
+        assert giant[-1] == pytest.approx(1.0)  # everything connects by t=20
+        assert giant[0] < 1.0
+
+    def test_active_vertices_counted(self, staged):
+        tl = evolution_timeline(staged, window=10)
+        assert tl.windows[0].n_active_vertices == 4  # 0,1 and 2,3
+
+    def test_components_of_active_subgraph(self, staged):
+        tl = evolution_timeline(staged, window=10)
+        # window 0: the pairs 0-1 and 2-3 -> two active components
+        assert tl.windows[0].n_components == 2
+        assert tl.windows[0].giant_fraction == pytest.approx(0.5)
+
+    def test_series_and_table(self, staged):
+        tl = evolution_timeline(staged, window=10)
+        assert tl.series("n_edges").shape == (3,)
+        text = tl.table()
+        assert "giant_frac" in text
+        assert len(text.splitlines()) == 4
+
+    def test_empty_edge_list(self):
+        g = EdgeList(3, np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+                     ts=np.array([], dtype=np.int64))
+        tl = evolution_timeline(g, window=5)
+        assert len(tl) == 0
+        assert tl.table() == "(empty timeline)"
+
+    def test_requires_timestamps(self):
+        g = EdgeList(3, np.array([0]), np.array([1]))
+        with pytest.raises(GraphError):
+            evolution_timeline(g, window=5)
+
+    def test_validates_window_and_step(self, staged):
+        with pytest.raises(GraphError):
+            evolution_timeline(staged, window=0)
+        with pytest.raises(GraphError):
+            evolution_timeline(staged, window=5, step=0)
+
+    def test_clustering_skippable(self, staged):
+        tl = evolution_timeline(staged, window=10, clustering_samples=0)
+        assert all(w.clustering == 0.0 for w in tl.windows)
+
+    def test_deterministic(self, staged):
+        a = evolution_timeline(staged, window=10, seed=3)
+        b = evolution_timeline(staged, window=10, seed=3)
+        assert a.windows == b.windows
+
+
+class TestOnRmat:
+    def test_rmat_formation(self):
+        g = rmat_graph(9, 8, seed=44, ts_range=(0, 99))
+        tl = evolution_timeline(g, window=25, cumulative=True, seed=1)
+        assert len(tl) == 4
+        # formation view: edges and giant share grow monotonically
+        edges = tl.series("n_edges")
+        assert all(a <= b for a, b in zip(edges, edges[1:]))
+        assert edges[-1] == g.m
+        giant = tl.series("giant_fraction")
+        assert giant[-1] >= giant[0]

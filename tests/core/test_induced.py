@@ -1,0 +1,100 @@
+"""Tests for the temporal induced-subgraph kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.induced import induced_subgraph
+from repro.edgelist import EdgeList
+from repro.errors import GraphError
+from repro.generators.rmat import rmat_graph
+
+
+@pytest.fixture
+def stamped():
+    return EdgeList(
+        5,
+        np.array([0, 1, 2, 3, 0]),
+        np.array([1, 2, 3, 4, 2]),
+        ts=np.array([10, 25, 50, 69, 70]),
+    )
+
+
+class TestSelection:
+    def test_open_interval(self, stamped):
+        res = induced_subgraph(stamped, 20, 70)
+        # labels 25, 50, 69 qualify; 10 and 70 do not (open interval)
+        assert res.n_affected == 3
+
+    def test_inclusive_interval(self, stamped):
+        res = induced_subgraph(stamped, 20, 70, inclusive=True)
+        assert res.n_affected == 4  # 70 now included
+
+    def test_subgraph_contains_only_interval_edges(self, stamped):
+        res = induced_subgraph(stamped, 20, 70)
+        assert res.graph.ts is not None
+        assert np.all((res.graph.ts > 20) & (res.graph.ts < 70))
+
+    def test_full_vertex_set_kept(self, stamped):
+        res = induced_subgraph(stamped, 20, 70)
+        assert res.graph.n == 5
+
+    def test_symmetrised_arcs(self, stamped):
+        res = induced_subgraph(stamped, 20, 70)
+        assert res.graph.n_arcs == 2 * res.n_affected
+
+    def test_empty_interval_result(self, stamped):
+        res = induced_subgraph(stamped, 100, 200)
+        assert res.n_affected == 0
+        assert res.graph.n_arcs == 0
+
+    def test_everything_selected(self, stamped):
+        res = induced_subgraph(stamped, 0, 1000)
+        assert res.n_affected == stamped.m
+
+    def test_requires_timestamps(self):
+        g = EdgeList(3, np.array([0]), np.array([1]))
+        with pytest.raises(GraphError):
+            induced_subgraph(g, 0, 10)
+
+    def test_inverted_interval_rejected(self, stamped):
+        with pytest.raises(GraphError):
+            induced_subgraph(stamped, 70, 20)
+
+
+class TestStrategyChoice:
+    def test_rebuild_for_minority(self, stamped):
+        res = induced_subgraph(stamped, 20, 70)  # 3 of 5 kept -> delete 2? no:
+        # kept=3 > m-kept=2, so deleting the complement is cheaper
+        assert res.strategy == "delete"
+
+    def test_delete_for_majority(self, stamped):
+        res = induced_subgraph(stamped, 40, 60)  # only label 50 kept
+        assert res.strategy == "rebuild"
+
+    def test_paper_interval_on_rmat(self):
+        g = rmat_graph(10, 8, seed=3, ts_range=(1, 100))
+        res = induced_subgraph(g, 20, 70)
+        assert res.strategy == "rebuild"  # ~49% kept
+        assert 0.4 * g.m < res.n_affected < 0.6 * g.m
+
+
+class TestProfile:
+    def test_two_phases(self, stamped):
+        res = induced_subgraph(stamped, 20, 70)
+        assert [p.name for p in res.profile.phases] == ["mark", "delete"]
+
+    def test_mark_streams_all_edges(self, stamped):
+        res = induced_subgraph(stamped, 20, 70)
+        mark = res.profile.phases[0]
+        assert mark.seq_bytes == 8.0 * stamped.m
+
+    def test_apply_work_proportional_to_moved(self):
+        g = rmat_graph(10, 8, seed=3, ts_range=(1, 100))
+        narrow = induced_subgraph(g, 45, 55)
+        wide = induced_subgraph(g, 10, 90)
+        assert narrow.profile.phases[1].rand_accesses < wide.profile.phases[1].rand_accesses
+
+    def test_meta(self, stamped):
+        res = induced_subgraph(stamped, 20, 70)
+        assert res.profile.meta["interval"] == (20, 70)
+        assert res.profile.meta["kept"] == 3

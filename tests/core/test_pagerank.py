@@ -1,0 +1,86 @@
+"""Tests for PageRank (validated against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.adjacency.csr import build_csr
+from repro.core.pagerank import pagerank
+from repro.edgelist import EdgeList
+from repro.errors import GraphError
+from repro.generators.reference import path_graph, star_graph, to_networkx
+
+
+class TestPageRank:
+    def test_matches_networkx_undirected(self, er_csr, er_nx):
+        res = pagerank(er_csr)
+        truth = nx.pagerank(er_nx, alpha=0.85, tol=1e-12, max_iter=500)
+        for v in range(er_csr.n):
+            assert res.scores[v] == pytest.approx(truth[v], abs=1e-7)
+
+    def test_matches_networkx_directed(self):
+        g = EdgeList(5, np.array([0, 1, 2, 3, 1]), np.array([1, 2, 3, 0, 4]),
+                     directed=True)
+        csr = build_csr(g)
+        res = pagerank(csr)
+        G = nx.DiGraph()
+        G.add_nodes_from(range(5))
+        G.add_edges_from(zip(g.src.tolist(), g.dst.tolist()))
+        truth = nx.pagerank(G, alpha=0.85, tol=1e-12, max_iter=500)
+        for v in range(5):
+            assert res.scores[v] == pytest.approx(truth[v], abs=1e-7)
+
+    def test_scores_sum_to_one(self, er_csr):
+        assert pagerank(er_csr).scores.sum() == pytest.approx(1.0)
+
+    def test_star_hub_highest(self):
+        res = pagerank(build_csr(star_graph(10)))
+        assert int(np.argmax(res.scores)) == 0
+
+    def test_symmetric_path_symmetric_scores(self):
+        res = pagerank(build_csr(path_graph(5)))
+        assert res.scores[0] == pytest.approx(res.scores[4])
+        assert res.scores[1] == pytest.approx(res.scores[3])
+
+    def test_dangling_vertices_handled(self):
+        g = EdgeList(3, np.array([0]), np.array([1]), directed=True)
+        res = pagerank(build_csr(g))
+        assert res.converged
+        assert res.scores.sum() == pytest.approx(1.0)
+        assert res.scores[1] > res.scores[0]
+
+    def test_personalization(self, er_csr):
+        pers = np.zeros(er_csr.n)
+        pers[0] = 1.0
+        res = pagerank(er_csr, personalization=pers)
+        uniform = pagerank(er_csr)
+        assert res.scores[0] > uniform.scores[0]
+
+    def test_personalization_validated(self, er_csr):
+        with pytest.raises(GraphError):
+            pagerank(er_csr, personalization=np.zeros(er_csr.n))
+        with pytest.raises(GraphError):
+            pagerank(er_csr, personalization=np.zeros(3))
+
+    def test_alpha_validated(self, er_csr):
+        with pytest.raises(GraphError):
+            pagerank(er_csr, alpha=1.0)
+        with pytest.raises(GraphError):
+            pagerank(er_csr, alpha=0.0)
+
+    def test_max_iter_cap(self, er_csr):
+        res = pagerank(er_csr, max_iter=2, tol=0.0)
+        assert res.iterations == 2 and not res.converged
+
+    def test_empty_graph(self):
+        g = EdgeList(0, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        res = pagerank(build_csr(g))
+        assert res.scores.size == 0 and res.converged
+
+    def test_profile_scales_with_iterations(self, er_csr):
+        short = pagerank(er_csr, max_iter=2, tol=0.0)
+        long = pagerank(er_csr, max_iter=8, tol=0.0)
+        assert (
+            long.profile.total("rand_accesses")
+            > short.profile.total("rand_accesses")
+        )

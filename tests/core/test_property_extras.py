@@ -1,0 +1,149 @@
+"""Property-based tests for the extension kernels."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.sparse.csgraph import dijkstra
+
+from repro.adjacency.compressed import CompressedCSR
+from repro.adjacency.csr import build_csr
+from repro.core.sssp import delta_stepping
+from repro.core.temporal_reach import earliest_arrival
+from repro.edgelist import EdgeList
+
+N = 12
+
+weighted_edges = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=1, max_value=30),
+    ),
+    max_size=35,
+)
+
+temporal_edges = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=0, max_value=9),
+    ),
+    max_size=35,
+)
+
+
+def weighted_graph(triples):
+    if triples:
+        src, dst, w = (np.array(x, dtype=np.int64) for x in zip(*triples))
+    else:
+        src = dst = w = np.array([], dtype=np.int64)
+    return EdgeList(N, src, dst, w=w if w.size else None)
+
+
+def temporal_graph(triples):
+    if triples:
+        src, dst, ts = (np.array(x, dtype=np.int64) for x in zip(*triples))
+    else:
+        src = dst = ts = np.array([], dtype=np.int64)
+    return EdgeList(N, src, dst, ts=ts)
+
+
+class TestSSSPProperties:
+    @given(weighted_edges, st.integers(min_value=0, max_value=N - 1),
+           st.integers(min_value=1, max_value=40))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_dijkstra_any_delta(self, triples, source, delta):
+        g = weighted_graph(triples)
+        csr = build_csr(g)
+        mine = delta_stepping(csr, source, delta=delta).dist
+        mat = sp.csr_matrix(
+            (csr.weights().astype(float), csr.targets, csr.offsets),
+            shape=(N, N),
+        )
+        truth = dijkstra(mat, directed=True, indices=source)
+        assert np.allclose(mine, truth)
+
+    @given(weighted_edges, st.integers(min_value=0, max_value=N - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, triples, source):
+        g = weighted_graph(triples)
+        csr = build_csr(g)
+        dist = delta_stepping(csr, source).dist
+        w = csr.weights()
+        for u in range(N):
+            lo, hi = int(csr.offsets[u]), int(csr.offsets[u + 1])
+            for j in range(lo, hi):
+                v = int(csr.targets[j])
+                if np.isfinite(dist[u]):
+                    assert dist[v] <= dist[u] + w[j] + 1e-9
+
+
+class TestTemporalReachProperties:
+    @given(temporal_edges, st.integers(min_value=0, max_value=N - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_subset_of_static_reachability(self, triples, source):
+        from repro.core.bfs import bfs
+
+        g = temporal_graph(triples)
+        res = earliest_arrival(g, source)
+        static = bfs(build_csr(g), source)
+        assert set(res.reached().tolist()) <= set(static.reached().tolist())
+
+    @given(temporal_edges, st.integers(min_value=0, max_value=N - 1),
+           st.integers(min_value=0, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_later_start_reaches_no_more(self, triples, source, t0):
+        g = temporal_graph(triples)
+        early = earliest_arrival(g, source, t_start=t0)
+        late = earliest_arrival(g, source, t_start=t0 + 3)
+        assert set(late.reached().tolist()) <= set(early.reached().tolist())
+
+    @given(temporal_edges, st.integers(min_value=0, max_value=N - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_arrival_labels_are_edge_labels(self, triples, source):
+        g = temporal_graph(triples)
+        res = earliest_arrival(g, source)
+        labels = set(g.timestamps().tolist())
+        for v in res.reached().tolist():
+            if v != source:
+                assert int(res.arrival[v]) in labels
+
+
+class TestCompressionProperties:
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=N - 1),
+                  st.integers(min_value=0, max_value=N - 1)),
+        max_size=50,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_preserves_neighbour_sets(self, pairs):
+        if pairs:
+            src, dst = (np.array(x, dtype=np.int64) for x in zip(*pairs))
+        else:
+            src = dst = np.array([], dtype=np.int64)
+        csr = build_csr(EdgeList(N, src, dst))
+        comp = CompressedCSR.from_csr(csr)
+        for u in range(N):
+            assert comp.neighbors(u).tolist() == sorted(set(csr.neighbors(u).tolist()))
+            assert comp.degree(u) == len(set(csr.neighbors(u).tolist()))
+
+
+class TestIOProperties:
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=N - 1),
+                  st.integers(min_value=0, max_value=N - 1),
+                  st.integers(min_value=0, max_value=100)),
+        max_size=30,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_npz_roundtrip(self, tmp_path_factory, triples):
+        from repro.io import load_npz, save_npz
+
+        g = temporal_graph(triples)
+        path = tmp_path_factory.mktemp("io") / "g.npz"
+        save_npz(path, g)
+        back = load_npz(path)
+        assert np.array_equal(back.src, g.src)
+        assert np.array_equal(back.dst, g.dst)
+        assert np.array_equal(back.timestamps(), g.timestamps())

@@ -1,0 +1,92 @@
+"""Tests for bidirectional st-connectivity."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.adjacency.csr import build_csr
+from repro.core.stconn import st_connectivity
+from repro.edgelist import EdgeList
+from repro.errors import VertexError
+from repro.generators.reference import grid_graph, path_graph
+
+
+class TestCorrectness:
+    def test_matches_networkx_connectivity(self, er_csr, er_nx):
+        rng = np.random.default_rng(5)
+        for _ in range(60):
+            s, t = (int(x) for x in rng.integers(0, er_csr.n, 2))
+            res = st_connectivity(er_csr, s, t)
+            assert res.connected == nx.has_path(er_nx, s, t), (s, t)
+
+    def test_distance_matches_networkx(self, er_csr, er_nx):
+        rng = np.random.default_rng(6)
+        checked = 0
+        for _ in range(120):
+            s, t = (int(x) for x in rng.integers(0, er_csr.n, 2))
+            if not nx.has_path(er_nx, s, t):
+                continue
+            res = st_connectivity(er_csr, s, t)
+            assert res.distance == nx.shortest_path_length(er_nx, s, t), (s, t)
+            checked += 1
+        assert checked > 20
+
+    def test_same_vertex(self, er_csr):
+        res = st_connectivity(er_csr, 3, 3)
+        assert res.connected and res.distance == 0
+
+    def test_adjacent(self):
+        csr = build_csr(path_graph(3))
+        res = st_connectivity(csr, 0, 1)
+        assert res.connected and res.distance == 1
+
+    def test_path_ends(self):
+        csr = build_csr(path_graph(10))
+        res = st_connectivity(csr, 0, 9)
+        assert res.distance == 9
+
+    def test_grid(self):
+        csr = build_csr(grid_graph(5, 5))
+        res = st_connectivity(csr, 0, 24)
+        assert res.distance == 8
+
+    def test_disconnected(self):
+        g = EdgeList(4, np.array([0, 2]), np.array([1, 3]))
+        res = st_connectivity(build_csr(g), 0, 3)
+        assert not res.connected and res.distance == -1
+
+    def test_bad_vertices(self, er_csr):
+        with pytest.raises(VertexError):
+            st_connectivity(er_csr, -1, 0)
+        with pytest.raises(VertexError):
+            st_connectivity(er_csr, 0, er_csr.n)
+
+
+class TestEfficiency:
+    def test_scans_fewer_edges_than_full_bfs(self):
+        from repro.core.bfs import bfs
+
+        csr = build_csr(path_graph(200))
+        res = st_connectivity(csr, 0, 3)
+        full = bfs(csr, 0)
+        assert res.edges_scanned < full.total_edges_scanned
+
+
+class TestTemporal:
+    def test_filter_respected(self):
+        g = EdgeList(4, np.array([0, 1, 2]), np.array([1, 2, 3]),
+                     ts=np.array([1, 99, 1]))
+        csr = build_csr(g)
+        assert st_connectivity(csr, 0, 3).connected
+        assert not st_connectivity(csr, 0, 3, ts_range=(0, 10)).connected
+
+    def test_requires_ts(self, er_csr):
+        with pytest.raises(VertexError):
+            st_connectivity(er_csr, 0, 1, ts_range=(0, 1))
+
+
+class TestProfile:
+    def test_phases_per_round(self, er_csr):
+        res = st_connectivity(er_csr, 0, 1)
+        assert len(res.profile.phases) >= 1
+        assert res.profile.meta["s"] == 0

@@ -1,0 +1,59 @@
+"""Tests for harmonic temporal closeness."""
+
+import numpy as np
+import pytest
+
+from repro.core.temporal_reach import temporal_closeness
+from repro.edgelist import EdgeList
+from repro.errors import GraphError
+from repro.generators.rmat import rmat_graph
+
+
+@pytest.fixture
+def chain():
+    return EdgeList(4, np.array([0, 1, 2]), np.array([1, 2, 3]),
+                    ts=np.array([1, 2, 3]))
+
+
+class TestTemporalCloseness:
+    def test_chain_values(self, chain):
+        s = temporal_closeness(chain)
+        assert s[0] == pytest.approx(1 / 2 + 1 / 3 + 1 / 4)
+        # vertex 3 can only go backwards: 3-(3)->2 then stuck (labels decrease)
+        assert s[3] == pytest.approx(1 / 4)
+
+    def test_earlier_reach_scores_higher(self):
+        # a reaches b at t=1; c reaches b at t=9
+        g = EdgeList(3, np.array([0, 2]), np.array([1, 1]), ts=np.array([1, 9]))
+        s = temporal_closeness(g)
+        assert s[0] > s[2] > 0
+
+    def test_isolated_zero(self):
+        g = EdgeList(3, np.array([0]), np.array([1]), ts=np.array([5]))
+        assert temporal_closeness(g)[2] == 0.0
+
+    def test_sampling(self, chain):
+        s = temporal_closeness(chain, sources=np.array([0]))
+        assert s[0] > 0
+        assert np.all(s[1:] == 0)
+
+    def test_sample_size(self, chain):
+        s = temporal_closeness(chain, 2, seed=1)
+        assert np.count_nonzero(s) <= 2
+
+    def test_t_start_reduces_score(self, chain):
+        full = temporal_closeness(chain, sources=np.array([0]))
+        late = temporal_closeness(chain, sources=np.array([0]), t_start=2)
+        assert late[0] < full[0]
+
+    def test_invalid_sources(self, chain):
+        with pytest.raises(GraphError):
+            temporal_closeness(chain, 0)
+        with pytest.raises(GraphError):
+            temporal_closeness(chain, np.array([9]))
+
+    def test_rmat_smoke(self):
+        g = rmat_graph(8, 6, seed=41, ts_range=(1, 20))
+        s = temporal_closeness(g, 8, seed=2)
+        assert s.shape == (g.n,)
+        assert s.max() > 0

@@ -1,0 +1,147 @@
+"""Tests for earliest-arrival temporal reachability."""
+
+import numpy as np
+import pytest
+
+from repro.core.temporal_reach import earliest_arrival, temporal_reachable_set
+from repro.edgelist import EdgeList
+from repro.errors import GraphError, VertexError
+
+
+def brute_force_arrival(edges: EdgeList, source: int, t_start: int = 0):
+    """Exhaustive DFS over label-increasing paths."""
+    arcs = edges.symmetrized() if not edges.directed else edges
+    adj = [[] for _ in range(edges.n)]
+    for u, v, t in zip(arcs.src.tolist(), arcs.dst.tolist(),
+                       arcs.timestamps().tolist()):
+        if t >= t_start:
+            adj[u].append((v, t))
+    best = {source: t_start - 1}
+    stack = [(source, t_start - 1)]
+    while stack:
+        u, last = stack.pop()
+        for v, t in adj[u]:
+            if t > last and t < best.get(v, 1 << 60):
+                best[v] = t
+                stack.append((v, t))
+    return best
+
+
+@pytest.fixture
+def chain():
+    # 0 -(1)- 1 -(3)- 2 -(2)- 3 : the last hop's label decreases
+    return EdgeList(4, np.array([0, 1, 2]), np.array([1, 2, 3]),
+                    ts=np.array([1, 3, 2]))
+
+
+class TestSemantics:
+    def test_label_order_respected(self, chain):
+        res = earliest_arrival(chain, 0)
+        assert res.reachable(1) and res.reachable(2)
+        # 2 -(2)-> 3 needs label > 3 after arriving at 2 via label 3
+        assert not res.reachable(3)
+        assert res.arrival[1] == 1 and res.arrival[2] == 3
+
+    def test_reverse_direction(self, chain):
+        res = earliest_arrival(chain, 3)
+        # 3 -(2)-> 2 -(3)-> 1: labels 2 < 3 valid; 1 -(1)-> 0 needs label > 3
+        assert res.reachable(2) and res.reachable(1)
+        assert not res.reachable(0)
+
+    def test_equal_labels_no_chaining(self):
+        g = EdgeList(3, np.array([0, 1]), np.array([1, 2]), ts=np.array([5, 5]))
+        res = earliest_arrival(g, 0)
+        assert res.reachable(1)
+        assert not res.reachable(2)
+
+    def test_t_start_gates_first_edge(self, chain):
+        res = earliest_arrival(chain, 0, t_start=2)
+        assert not res.reachable(1)  # edge 0-1 has label 1 < t_start
+
+    def test_source_always_reached(self, chain):
+        res = earliest_arrival(chain, 2)
+        assert res.reachable(2)
+        assert res.arrival[2] == -1
+
+    def test_directed_not_symmetrised(self):
+        g = EdgeList(3, np.array([0]), np.array([1]), ts=np.array([4]),
+                     directed=True)
+        assert not earliest_arrival(g, 1).reachable(0)
+        assert earliest_arrival(g, 0).reachable(1)
+
+    def test_earliest_among_alternatives(self):
+        # two routes to 2: via 1 arriving at 5, direct at 9
+        g = EdgeList(3, np.array([0, 1, 0]), np.array([1, 2, 2]),
+                     ts=np.array([2, 5, 9]))
+        res = earliest_arrival(g, 0)
+        assert res.arrival[2] == 5
+
+    def test_greedy_earliest_is_optimal_prefix(self):
+        # arriving EARLY at an intermediate helps: earliest-arrival has
+        # optimal substructure and the label-scan computes it correctly.
+        g = EdgeList(4, np.array([0, 0, 1, 2]), np.array([1, 2, 3, 3]),
+                     ts=np.array([1, 4, 2, 5]))
+        res = earliest_arrival(g, 0)
+        assert res.arrival[3] == 2  # via 0-(1)->1-(2)->3
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_temporal_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 15, 40
+        g = EdgeList(
+            n,
+            rng.integers(0, n, m),
+            rng.integers(0, n, m),
+            ts=rng.integers(0, 8, m),
+        )
+        for source in range(0, n, 4):
+            res = earliest_arrival(g, source)
+            truth = brute_force_arrival(g, source)
+            mine = {
+                v: int(res.arrival[v])
+                for v in range(n)
+                if res.arrival[v] < res.UNREACHED
+            }
+            assert mine == truth, (seed, source)
+
+    def test_with_t_start(self):
+        rng = np.random.default_rng(9)
+        g = EdgeList(10, rng.integers(0, 10, 25), rng.integers(0, 10, 25),
+                     ts=rng.integers(0, 6, 25))
+        res = earliest_arrival(g, 0, t_start=3)
+        truth = brute_force_arrival(g, 0, t_start=3)
+        mine = {v: int(res.arrival[v]) for v in range(10)
+                if res.arrival[v] < res.UNREACHED}
+        assert mine == truth
+
+
+class TestInterface:
+    def test_requires_timestamps(self):
+        g = EdgeList(3, np.array([0]), np.array([1]))
+        with pytest.raises(GraphError):
+            earliest_arrival(g, 0)
+
+    def test_bad_source(self, chain):
+        with pytest.raises(VertexError):
+            earliest_arrival(chain, 4)
+
+    def test_reachable_bad_vertex(self, chain):
+        res = earliest_arrival(chain, 0)
+        with pytest.raises(VertexError):
+            res.reachable(9)
+
+    def test_reachable_set(self, chain):
+        assert temporal_reachable_set(chain, 0).tolist() == [0, 1, 2]
+
+    def test_profile_one_phase_per_label(self, chain):
+        res = earliest_arrival(chain, 0)
+        assert res.edge_groups == 3  # labels 1, 2, 3
+        assert len(res.profile.phases) == 3
+
+    def test_empty_graph(self):
+        g = EdgeList(3, np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+                     ts=np.array([], dtype=np.int64))
+        res = earliest_arrival(g, 1)
+        assert res.n_reached == 1

@@ -1,0 +1,84 @@
+"""Tests for weighted betweenness centrality."""
+
+from dataclasses import replace
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.adjacency.csr import build_csr
+from repro.core.betweenness import temporal_betweenness
+from repro.core.weighted_bc import weighted_betweenness
+from repro.edgelist import EdgeList
+from repro.errors import GraphError
+from repro.generators.reference import erdos_renyi, path_graph, to_networkx
+from repro.util.seeding import make_rng
+
+
+def weighted_er(n, p, seed, hi=10):
+    g = erdos_renyi(n, p, seed=seed)
+    rng = make_rng(seed)
+    return replace(g, w=rng.integers(1, hi + 1, g.m, dtype=np.int64))
+
+
+def nx_weighted(g):
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    for u, v, w in zip(g.src.tolist(), g.dst.tolist(), g.weights().tolist()):
+        # keep the lighter parallel edge, matching simple-graph semantics
+        if not G.has_edge(u, v) or G[u][v]["weight"] > w:
+            G.add_edge(u, v, weight=w)
+    return G
+
+
+class TestWeighted:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        g = weighted_er(40, 0.12, seed)
+        # deduplicate so multigraph vs simple-graph semantics align
+        g = g.deduplicated()
+        res = weighted_betweenness(build_csr(g))
+        truth = nx.betweenness_centrality(nx_weighted(g), weight="weight",
+                                          normalized=False)
+        for v in range(g.n):
+            assert res.scores[v] == pytest.approx(2 * truth[v], abs=1e-6), v
+
+    def test_weights_change_the_answer(self):
+        # square 0-1-2-3-0 with one heavy edge: flow routes around it
+        g = EdgeList(4, np.array([0, 1, 2, 3]), np.array([1, 2, 3, 0]),
+                     w=np.array([1, 10, 1, 1]))
+        res = weighted_betweenness(build_csr(g))
+        unw = weighted_betweenness(build_csr(replace(g, w=None)))
+        # with the heavy 1-2 edge, vertex 3 relays 0<->2 AND 1<->... more
+        assert res.scores[3] > unw.scores[3]
+
+    def test_unweighted_equals_bfs_brandes(self, er_csr):
+        a = weighted_betweenness(er_csr)
+        b = temporal_betweenness(er_csr, temporal=False)
+        assert np.allclose(a.scores, b.scores)
+
+    def test_path_graph(self):
+        res = weighted_betweenness(build_csr(path_graph(5)))
+        assert res.scores.tolist() == [0.0, 6.0, 8.0, 6.0, 0.0]
+
+    def test_parallel_edges_count_as_paths(self):
+        g = EdgeList(3, np.array([0, 0, 1]), np.array([1, 1, 2]),
+                     w=np.array([2, 2, 3]))
+        res = weighted_betweenness(build_csr(g))
+        # both parallel 0-1 edges are shortest: sigma(0,2)=2 through vertex 1
+        assert res.scores[1] == pytest.approx(2.0)  # pairs (0,2) and (2,0)
+
+    def test_sampling(self, er_csr):
+        full = weighted_betweenness(er_csr)
+        approx = weighted_betweenness(er_csr, sources=er_csr.n // 2, seed=1)
+        top = int(np.argmax(full.scores))
+        assert approx.scores[top] > 0.2 * full.scores[top]
+
+    def test_invalid_sources(self, er_csr):
+        with pytest.raises(GraphError):
+            weighted_betweenness(er_csr, sources=0)
+
+    def test_profile(self, er_csr):
+        res = weighted_betweenness(er_csr, sources=4, seed=2)
+        assert res.relaxations > 0
+        assert res.profile.meta["relaxations"] == res.relaxations

@@ -1,0 +1,53 @@
+"""Tests for the JSON experiment exporter."""
+
+import json
+
+import pytest
+
+from repro.experiments import get_figure
+from repro.experiments.report import collect, figure_to_dict, write_json
+
+
+class TestFigureToDict:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return get_figure("fig02")(quick=True)
+
+    def test_structure(self, fig):
+        d = figure_to_dict(fig)
+        assert d["figure"] == "Figure 2"
+        assert d["all_passed"] is True
+        assert set(d["checks"]) == set(fig.checks)
+        assert len(d["series"]) == 2
+
+    def test_series_content(self, fig):
+        d = figure_to_dict(fig)
+        s = d["series"][0]
+        assert s["threads"] == [1, 2, 4, 8, 16, 32, 64]
+        assert len(s["seconds"]) == 7
+        assert s["speedups"][0] == 1.0
+        assert "mups" in s
+
+    def test_json_serialisable(self, fig):
+        json.dumps(figure_to_dict(fig))
+
+    def test_rows_jsonified(self):
+        fig01 = get_figure("fig01")(quick=True)
+        d = figure_to_dict(fig01)
+        assert d["rows"]
+        json.dumps(d)
+
+
+class TestCollect:
+    def test_subset(self):
+        doc = collect(quick=True, figures=["fig02", "fig09"])
+        assert set(doc["figures"]) == {"fig02", "fig09"}
+        assert doc["all_passed"] is True
+        assert doc["mode"] == "quick"
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "report.json"
+        doc = write_json(path, quick=True, figures=["fig02"])
+        loaded = json.loads(path.read_text())
+        assert loaded["figures"]["fig02"]["figure"] == "Figure 2"
+        assert loaded["all_passed"] == doc["all_passed"]

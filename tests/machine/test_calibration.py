@@ -1,0 +1,87 @@
+"""Calibration pins: the simulated machines must keep reproducing the
+paper's headline numbers.
+
+These tests freeze the once-calibrated constants (machine specs in
+repro.machine.spec, per-operation costs in repro.adjacency.base): if a
+refactor moves any headline quantity out of its band, the reproduction has
+drifted and the figures in EXPERIMENTS.md are stale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adjacency.dynarr import DynArrAdjacency
+from repro.core.update_engine import construct
+from repro.experiments.common import footprint_coefficients
+from repro.generators.rmat import rmat_graph
+from repro.machine.profile import Phase, WorkProfile
+from repro.machine.scale import ScaledInstance, scale_profile
+from repro.machine.sim import SimulatedMachine
+from repro.machine.spec import POWER_570, ULTRASPARC_T1, ULTRASPARC_T2
+
+
+@pytest.fixture(scope="module")
+def t2_construction():
+    """Dyn-arr construction profile scaled to the paper's 33.5M/268M."""
+    graph = rmat_graph(12, 10, seed=20090525)
+    deg = np.bincount(graph.src, minlength=graph.n) + np.bincount(
+        graph.dst, minlength=graph.n
+    )
+    rep = DynArrAdjacency.preallocated(graph.n, deg)
+    res = construct(rep, graph)
+    bpv, bpe = footprint_coefficients(rep, graph.n, 2 * graph.m)
+    inst = ScaledInstance(
+        n_measured=graph.n,
+        m_measured=graph.m,
+        n_target=1 << 25,
+        m_target=268_000_000,
+        ops_measured=graph.m,
+        ops_target=268_000_000,
+        bytes_per_vertex=bpv,
+        bytes_per_edge=2 * bpe,
+    )
+    return scale_profile(res.profile, inst)
+
+
+class TestUpdateHeadlines:
+    """Paper: ~25 MUPS and ~28x speedup at 64 T2 threads for updates."""
+
+    def test_t2_64thread_mups(self, t2_construction):
+        mups = SimulatedMachine(ULTRASPARC_T2).mups_at(t2_construction, 64, 268_000_000)
+        assert 15.0 <= mups <= 50.0, f"drifted: {mups:.1f} MUPS (paper ~25)"
+
+    def test_t2_speedup_near_28(self, t2_construction):
+        m = SimulatedMachine(ULTRASPARC_T2)
+        speedup = m.time(t2_construction, 1) / m.time(t2_construction, 64)
+        assert 22.0 <= speedup <= 34.0, f"drifted: {speedup:.1f}x (paper ~28)"
+
+    def test_t1_slower_than_t2(self, t2_construction):
+        t2 = SimulatedMachine(ULTRASPARC_T2).time(t2_construction, 64)
+        t1 = SimulatedMachine(ULTRASPARC_T1).time(t2_construction, 32)
+        assert t1 > t2
+
+
+class TestArchitectureSignatures:
+    def test_t2_latency_bound_cap(self):
+        wp = WorkProfile("m", (Phase("p", rand_accesses=1e8, footprint_bytes=1e10),))
+        m = SimulatedMachine(ULTRASPARC_T2)
+        assert 25 < m.time(wp, 1) / m.time(wp, 64) < 32
+
+    def test_t1_latency_bound_cap(self):
+        wp = WorkProfile("m", (Phase("p", rand_accesses=1e8, footprint_bytes=1e10),))
+        m = SimulatedMachine(ULTRASPARC_T1)
+        assert 16 < m.time(wp, 1) / m.time(wp, 32) < 24
+
+    def test_power570_bandwidth_cap(self):
+        """Paper: BFS speedup 13.1 on 16 Power5 CPUs."""
+        wp = WorkProfile("m", (Phase("p", rand_accesses=1e8, footprint_bytes=1e11),))
+        m = SimulatedMachine(POWER_570)
+        assert 10 < m.time(wp, 1) / m.time(wp, 16) < 15.5
+
+    def test_single_thread_rates_sane(self):
+        # A single in-order Niagara thread chasing DRAM sustains a handful
+        # of million dependent accesses per second — not hundreds.
+        wp = WorkProfile("m", (Phase("p", rand_accesses=1e6, footprint_bytes=1e9),))
+        t = SimulatedMachine(ULTRASPARC_T2).time(wp, 1)
+        rate = 1e6 / t
+        assert 2e6 < rate < 5e7

@@ -1,0 +1,94 @@
+"""Tests for repro.machine.contention."""
+
+import numpy as np
+import pytest
+
+from repro.machine.contention import (
+    effective_parallelism,
+    hot_spot_stats,
+    max_multiplicity,
+    max_unit_fraction,
+    windowed_hot_stats,
+)
+
+
+class TestMaxMultiplicity:
+    def test_basic(self):
+        assert max_multiplicity([1, 2, 2, 3, 2]) == 3
+
+    def test_all_distinct(self):
+        assert max_multiplicity([1, 2, 3]) == 1
+
+    def test_empty(self):
+        assert max_multiplicity([]) == 0
+
+
+class TestHotSpotStats:
+    def test_basic(self):
+        total, mx, frac = hot_spot_stats([0, 0, 0, 1])
+        assert (total, mx) == (4, 3)
+        assert frac == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert hot_spot_stats([]) == (0, 0, 0.0)
+
+
+class TestMaxUnitFraction:
+    def test_basic(self):
+        assert max_unit_fraction([1, 1, 2]) == pytest.approx(0.5)
+
+    def test_all_zero(self):
+        assert max_unit_fraction([0, 0]) == 0.0
+
+    def test_empty(self):
+        assert max_unit_fraction([]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            max_unit_fraction([-1.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            max_unit_fraction(np.ones((2, 2)))
+
+
+class TestEffectiveParallelism:
+    def test_no_imbalance(self):
+        assert effective_parallelism(64, 0.0) == 64.0
+
+    def test_capped(self):
+        assert effective_parallelism(64, 0.25) == 4.0
+
+    def test_below_cap(self):
+        assert effective_parallelism(2, 0.25) == 2.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            effective_parallelism(0, 0.0)
+        with pytest.raises(ValueError):
+            effective_parallelism(4, 1.5)
+
+
+class TestWindowedHotStats:
+    def test_burst_detected(self):
+        keys = np.concatenate([np.full(100, 7), np.arange(100)])
+        burst, frac = windowed_hot_stats(keys, 50)
+        assert burst >= 50
+        assert frac >= 1.0
+
+    def test_spread_stream_low(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 1000, 10_000)
+        burst, frac = windowed_hot_stats(keys, 100)
+        assert frac < 0.2
+
+    def test_empty(self):
+        assert windowed_hot_stats([], 10) == (0, 0.0)
+
+    def test_window_larger_than_stream(self):
+        burst, _ = windowed_hot_stats([1, 1, 2], 100)
+        assert burst == 2
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            windowed_hot_stats([1], 0)

@@ -1,0 +1,125 @@
+"""Tests for repro.machine.cost — the cycle-level model's qualitative laws."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.cost import CostModel
+from repro.machine.profile import Phase, WorkProfile
+from repro.machine.spec import POWER_570, ULTRASPARC_T2
+
+
+@pytest.fixture
+def t2():
+    return CostModel(ULTRASPARC_T2)
+
+
+def one_phase_profile(**kwargs):
+    return WorkProfile("p", (Phase("w", **kwargs),))
+
+
+class TestHitProbability:
+    def test_fits_in_cache(self, t2):
+        assert t2.hit_probability(1024) == 1.0
+
+    def test_scales_inverse(self, t2):
+        c = ULTRASPARC_T2.cache_bytes
+        assert t2.hit_probability(2 * c) == pytest.approx(0.5)
+        assert t2.hit_probability(10 * c) == pytest.approx(0.1)
+
+    def test_negative_rejected(self, t2):
+        with pytest.raises(MachineModelError):
+            t2.hit_probability(-1)
+
+    def test_latency_interpolates(self, t2):
+        small = t2.random_latency(1024)
+        huge = t2.random_latency(1e12)
+        assert small == pytest.approx(ULTRASPARC_T2.cache_latency)
+        assert huge == pytest.approx(ULTRASPARC_T2.dram_latency, rel=0.01)
+
+
+class TestScalingLaws:
+    def test_latency_bound_phase_scales_with_mlp(self, t2):
+        wp = one_phase_profile(rand_accesses=1e7, footprint_bytes=1e9)
+        t1 = t2.seconds(wp, 1)
+        t64 = t2.seconds(wp, 64)
+        speedup = t1 / t64
+        assert 25 < speedup < 32  # the T2 MLP cap
+
+    def test_more_threads_never_slower_without_barriers(self, t2):
+        wp = one_phase_profile(rand_accesses=1e6, footprint_bytes=1e8, alu_ops=1e6)
+        times = [t2.seconds(wp, p) for p in (1, 2, 4, 8, 16, 32, 64)]
+        assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_barrier_cost_grows_with_threads(self, t2):
+        wp = one_phase_profile(barriers=1000.0)
+        assert t2.seconds(wp, 64) > t2.seconds(wp, 2)
+
+    def test_serial_phase_ignores_threads(self, t2):
+        wp = WorkProfile("p", (Phase("s", alu_ops=1e6, parallel=False),))
+        assert t2.seconds(wp, 64) == pytest.approx(t2.seconds(wp, 1))
+
+    def test_span_unscaled(self, t2):
+        wp = one_phase_profile(span_cycles=1e6)
+        assert t2.seconds(wp, 64) == pytest.approx(1e6 / ULTRASPARC_T2.clock_hz)
+
+    def test_imbalance_caps_speedup(self, t2):
+        wp = one_phase_profile(rand_accesses=1e6, footprint_bytes=1e9, max_unit_frac=0.25)
+        speedup = t2.seconds(wp, 1) / t2.seconds(wp, 64)
+        assert speedup <= 4.05
+
+    def test_hot_atomic_serialises(self, t2):
+        balanced = one_phase_profile(atomics=1e6, atomic_max_addr=10)
+        hot = one_phase_profile(atomics=1e6, atomic_max_addr=1e6)
+        assert t2.seconds(hot, 64) > 5 * t2.seconds(balanced, 64)
+        # At one thread there is no contention: identical cost.
+        assert t2.seconds(hot, 1) == pytest.approx(t2.seconds(balanced, 1))
+
+    def test_hot_lock_serialises(self, t2):
+        balanced = one_phase_profile(locks=1e5, lock_hold_cycles=50, lock_max_addr=10)
+        hot = one_phase_profile(locks=1e5, lock_hold_cycles=50, lock_max_addr=1e5)
+        assert t2.seconds(hot, 64) > 5 * t2.seconds(balanced, 64)
+
+    def test_lock_hot_hold_overrides_average(self, t2):
+        shallow = one_phase_profile(
+            locks=1e5, lock_hold_cycles=10, lock_max_addr=1e5, lock_hold_max_cycles=0.0
+        )
+        deep = one_phase_profile(
+            locks=1e5, lock_hold_cycles=10, lock_max_addr=1e5, lock_hold_max_cycles=500.0
+        )
+        assert t2.seconds(deep, 64) > 2 * t2.seconds(shallow, 64)
+
+    def test_replicated_work_defeats_scaling(self, t2):
+        wp = one_phase_profile(seq_bytes_per_thread=1e8)
+        # Per-thread replicated streams: more threads -> more total traffic,
+        # so the bandwidth-bound time *grows* with p.
+        assert t2.seconds(wp, 64) > t2.seconds(wp, 2)
+
+    def test_bandwidth_roof_on_power5(self):
+        cm = CostModel(POWER_570)
+        wp = one_phase_profile(rand_accesses=1e7, footprint_bytes=1e10)
+        speedup = cm.seconds(wp, 1) / cm.seconds(wp, 16)
+        assert 10 < speedup < 16  # the paper's 13.1x regime
+
+    def test_cache_cliff(self, t2):
+        small = one_phase_profile(rand_accesses=1e6, footprint_bytes=1e6)
+        large = one_phase_profile(rand_accesses=1e6, footprint_bytes=1e9)
+        assert t2.seconds(large, 64) > 2 * t2.seconds(small, 64)
+
+
+class TestBreakdown:
+    def test_components_sum(self, t2):
+        wp = one_phase_profile(
+            alu_ops=1e6, rand_accesses=1e5, seq_bytes=1e6, atomics=1e4, barriers=2,
+            footprint_bytes=1e8,
+        )
+        parts = t2.breakdown(wp, 16)
+        assert len(parts) == 1
+        pc = parts[0]
+        assert pc.total == pytest.approx(
+            pc.alu + pc.rand_mem + pc.seq_mem + pc.sync + pc.barrier + pc.span
+        )
+        assert t2.cycles(wp, 16) == pytest.approx(pc.total)
+
+    def test_invalid_threads(self, t2):
+        with pytest.raises(MachineModelError):
+            t2.cycles(one_phase_profile(alu_ops=1), 0)

@@ -1,0 +1,91 @@
+"""Tests for repro.machine.sim."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.profile import Phase, WorkProfile
+from repro.machine.sim import ScalingResult, SimulatedMachine, default_thread_counts
+from repro.machine.spec import POWER_570, ULTRASPARC_T1, ULTRASPARC_T2
+
+
+@pytest.fixture
+def profile():
+    return WorkProfile(
+        "w", (Phase("p", rand_accesses=1e7, footprint_bytes=1e9, alu_ops=1e7),)
+    )
+
+
+class TestDefaultThreadCounts:
+    def test_t2(self):
+        assert default_thread_counts(ULTRASPARC_T2) == (1, 2, 4, 8, 16, 32, 64)
+
+    def test_t1(self):
+        assert default_thread_counts(ULTRASPARC_T1) == (1, 2, 4, 8, 16, 32)
+
+    def test_power570_includes_max(self):
+        counts = default_thread_counts(POWER_570)
+        assert counts[-1] == 32  # 16 cores x SMT-2
+        assert counts[0] == 1
+
+
+class TestSimulatedMachine:
+    def test_construct_by_name(self):
+        assert SimulatedMachine("t2").name == "UltraSPARC T2"
+
+    def test_time_positive(self, profile):
+        assert SimulatedMachine("t2").time(profile, 8) > 0
+
+    def test_sweep_shapes(self, profile):
+        r = SimulatedMachine("t2").sweep(profile, n_items=1000)
+        assert r.threads == default_thread_counts(ULTRASPARC_T2)
+        assert len(r.seconds) == len(r.threads)
+        assert r.speedups[0] == 1.0
+        assert r.rates is not None and r.mups is not None
+
+    def test_sweep_custom_threads(self, profile):
+        r = SimulatedMachine("t1").sweep(profile, (1, 32))
+        assert r.threads == (1, 32)
+
+    def test_sweep_rejects_empty(self, profile):
+        with pytest.raises(MachineModelError):
+            SimulatedMachine("t2").sweep(profile, ())
+
+    def test_sweep_rejects_nonpositive(self, profile):
+        with pytest.raises(MachineModelError):
+            SimulatedMachine("t2").sweep(profile, (0, 2))
+
+    def test_mups_at(self, profile):
+        m = SimulatedMachine("t2")
+        assert m.mups_at(profile, 64, 10_000_000) == pytest.approx(
+            10.0 / m.time(profile, 64), rel=1e-9
+        )
+
+    def test_mups_negative_updates_rejected(self, profile):
+        with pytest.raises(MachineModelError):
+            SimulatedMachine("t2").mups_at(profile, 4, -1)
+
+
+class TestScalingResult:
+    def test_best(self):
+        r = ScalingResult("m", "w", (1, 2, 4), (4.0, 2.0, 1.0))
+        assert r.best() == (4, 1.0)
+
+    def test_rates_none_without_items(self):
+        r = ScalingResult("m", "w", (1,), (1.0,))
+        assert r.rates is None and r.mups is None
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(MachineModelError):
+            ScalingResult("m", "w", (1, 2), (1.0,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MachineModelError):
+            ScalingResult("m", "w", (), ())
+
+    def test_table_renders(self, profile):
+        r = SimulatedMachine("t2").sweep(profile, (1, 64), n_items=500)
+        text = r.table()
+        assert "UltraSPARC T2" in text
+        assert "speedup" in text and "MUPS" in text
+        assert len(text.splitlines()) == 4

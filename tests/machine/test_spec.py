@@ -1,0 +1,139 @@
+"""Tests for repro.machine.spec."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.spec import (
+    MACHINES,
+    POWER_570,
+    ULTRASPARC_T1,
+    ULTRASPARC_T2,
+    MachineSpec,
+    get_machine,
+)
+
+
+class TestBuiltinSpecs:
+    def test_t2_geometry(self):
+        assert ULTRASPARC_T2.cores == 8
+        assert ULTRASPARC_T2.threads_per_core == 8
+        assert ULTRASPARC_T2.max_threads == 64
+        assert ULTRASPARC_T2.clock_hz == pytest.approx(1.2e9)
+        assert ULTRASPARC_T2.cache_bytes == 4 * 1024 * 1024
+
+    def test_t1_geometry(self):
+        assert ULTRASPARC_T1.max_threads == 32
+        assert ULTRASPARC_T1.int_pipes_per_core == 1
+        assert ULTRASPARC_T1.cache_bytes == 3 * 1024 * 1024
+
+    def test_power570_geometry(self):
+        assert POWER_570.cores == 16
+        assert POWER_570.threads_per_core == 2
+
+    def test_registry(self):
+        assert get_machine("t2") is ULTRASPARC_T2
+        assert get_machine("UltraSPARC T1") is ULTRASPARC_T1
+        assert get_machine("POWER570") is POWER_570
+        assert set(MACHINES) == {"t1", "t2", "power570"}
+
+    def test_unknown_machine(self):
+        with pytest.raises(MachineModelError, match="unknown machine"):
+            get_machine("cray-xmt")
+
+
+class TestThreadPlacement:
+    def test_scatter_before_doubling(self):
+        assert ULTRASPARC_T2.threads_per_core_at(8) == 1
+        assert ULTRASPARC_T2.threads_per_core_at(16) == 2
+        assert ULTRASPARC_T2.threads_per_core_at(64) == 8
+
+    def test_clamped_to_hardware(self):
+        assert ULTRASPARC_T2.threads_per_core_at(1000) == 8
+
+    def test_cores_used(self):
+        assert ULTRASPARC_T2.cores_used(3) == 3
+        assert ULTRASPARC_T2.cores_used(64) == 8
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(MachineModelError):
+            ULTRASPARC_T2.threads_per_core_at(0)
+
+
+class TestMemoryConcurrency:
+    def test_linear_when_undersubscribed(self):
+        c4 = ULTRASPARC_T2.memory_concurrency(4)
+        c8 = ULTRASPARC_T2.memory_concurrency(8)
+        assert c8 == pytest.approx(2 * c4)
+
+    def test_saturates(self):
+        full = ULTRASPARC_T2.memory_concurrency(64)
+        assert full == pytest.approx(8 * ULTRASPARC_T2.mlp_per_core_max)
+        # The Niagara speedup story: 64-thread MLP is ~28x a single thread.
+        assert 25 < full / ULTRASPARC_T2.memory_concurrency(1) < 32
+
+    def test_monotone_in_threads(self):
+        prev = 0.0
+        for p in (1, 2, 4, 8, 16, 32, 64):
+            cur = ULTRASPARC_T2.memory_concurrency(p)
+            assert cur >= prev
+            prev = cur
+
+
+class TestIssueThroughput:
+    def test_one_thread_per_core(self):
+        assert ULTRASPARC_T2.issue_throughput(8) == 8.0
+
+    def test_pipes_shared(self):
+        # 64 threads on 8 cores with 2 pipes each: 16 ops/cycle max.
+        assert ULTRASPARC_T2.issue_throughput(64) == 16.0
+        # T1 has a single pipe per core.
+        assert ULTRASPARC_T1.issue_throughput(32) == 8.0
+
+
+class TestValidation:
+    def _base(self, **over):
+        kwargs = dict(
+            name="x",
+            cores=2,
+            threads_per_core=2,
+            clock_hz=1e9,
+            int_pipes_per_core=1,
+            cache_bytes=1024,
+            line_bytes=64,
+            cache_latency=10.0,
+            dram_latency=100.0,
+            dram_bw_bytes_per_cycle=10.0,
+            mlp_single_thread=1.0,
+            mlp_per_core_max=2.0,
+            atomic_cycles=30.0,
+            lock_cycles=100.0,
+            barrier_base=100.0,
+            barrier_per_thread=10.0,
+        )
+        kwargs.update(over)
+        return MachineSpec(**kwargs)
+
+    def test_valid(self):
+        self._base()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cores", 0),
+            ("clock_hz", 0.0),
+            ("cache_bytes", 0),
+            ("dram_latency", 5.0),  # below cache latency
+            ("mlp_single_thread", 0.0),
+            ("mlp_per_core_max", 0.5),  # below single-thread MLP
+            ("dram_bw_bytes_per_cycle", 0.0),
+        ],
+    )
+    def test_invalid(self, field, value):
+        with pytest.raises(MachineModelError):
+            self._base(**{field: value})
+
+    def test_with_overrides(self):
+        single = ULTRASPARC_T2.with_overrides(cores=1)
+        assert single.cores == 1
+        assert single.max_threads == 8
+        assert ULTRASPARC_T2.cores == 8  # original untouched

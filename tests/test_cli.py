@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.io import load_npz
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.npz"
+    code = main([
+        "generate", "--model", "rmat", "--scale", "9", "--edge-factor", "8",
+        "--ts-max", "50", "--seed", "3", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_rmat_npz(self, graph_file):
+        g = load_npz(graph_file)
+        assert g.n == 512 and g.m == 8 * 512
+        assert g.ts is not None and g.ts.max() <= 50
+
+    def test_text_output(self, tmp_path):
+        path = tmp_path / "g.txt"
+        assert main(["generate", "--scale", "6", "--out", str(path)]) == 0
+        assert path.exists()
+        assert sum(1 for line in open(path) if not line.startswith("#")) == 10 * 64
+
+    def test_ws_model(self, tmp_path):
+        path = tmp_path / "ws.npz"
+        assert main(["generate", "--model", "ws", "--scale", "7", "--k", "4",
+                     "--out", str(path)]) == 0
+        g = load_npz(path)
+        assert g.n == 128 and g.m == 128 * 2
+
+    def test_er_model(self, tmp_path):
+        path = tmp_path / "er.npz"
+        assert main(["generate", "--model", "er", "--scale", "7", "--p", "0.05",
+                     "--out", str(path)]) == 0
+        assert load_npz(path).m > 0
+
+
+class TestStats:
+    def test_runs(self, graph_file, capsys):
+        assert main(["stats", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "degrees:" in out
+        assert "giant component" in out
+        assert "effective diameter" in out
+
+
+class TestConnectivity:
+    def test_pairs_and_random(self, graph_file, capsys):
+        assert main([
+            "connectivity", str(graph_file), "--pairs", "0,1", "3,4",
+            "--random", "500",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "connected(0, 1)" in out
+        assert "500 random queries" in out
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("rep", ["hybrid", "dynarr", "dynarr-nr"])
+    def test_representations(self, graph_file, rep, capsys):
+        assert main([
+            "simulate", str(graph_file), "--representation", rep,
+            "--machine", "t2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "UltraSPARC T2" in out
+        assert "speedup" in out
+
+    def test_power570(self, graph_file, capsys):
+        assert main(["simulate", str(graph_file), "--machine", "power570"]) == 0
+        assert "Power 570" in capsys.readouterr().out
+
+    def test_text_input(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        main(["generate", "--scale", "7", "--out", str(path)])
+        assert main(["simulate", str(path)]) == 0

@@ -1,0 +1,54 @@
+"""Tests for repro.util.timing."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Timer, format_seconds
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert 0.005 < t.elapsed < 1.0
+
+    def test_frozen_after_exit(self):
+        with Timer() as t:
+            pass
+        e1 = t.elapsed
+        time.sleep(0.005)
+        assert t.elapsed == e1
+
+    def test_live_while_running(self):
+        with Timer() as t:
+            first = t.elapsed
+            time.sleep(0.005)
+            assert t.elapsed > first
+
+    def test_survives_exception(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t:
+                raise RuntimeError("boom")
+        assert t.elapsed >= 0.0
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,expect",
+        [
+            (0.0, "0 s"),
+            (5e-9, "5.0 ns"),
+            (5e-6, "5.0 us"),
+            (5e-3, "5.0 ms"),
+            (5.0, "5.00 s"),
+            (300.0, "5.0 min"),
+        ],
+    )
+    def test_units(self, value, expect):
+        assert format_seconds(value) == expect
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
