@@ -9,13 +9,24 @@ shape checks, and the simulated series lands in ``extra_info`` so
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Every benchmark session additionally writes ``BENCH_repro.json`` at the
+repository root: per-kernel host seconds plus whatever simulated
+seconds/MUPS the benchmark attached to ``extra_info``, stamped with the run
+manifest (commit, seed, interpreter) so entries are comparable across
+commits — the perf trajectory ROADMAP asks for.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.experiments import FigureResult
+from repro.obs import ensure_manifest
+from repro.util.jsonify import jsonify
 
 
 def attach_series(benchmark, result: FigureResult) -> None:
@@ -38,6 +49,42 @@ def attach_series(benchmark, result: FigureResult) -> None:
 def assert_figure(result: FigureResult) -> None:
     failures = result.failed_checks()
     assert not failures, f"{result.figure} shape checks failed: {failures}"
+
+
+def _bench_mean_seconds(bench) -> float | None:
+    """Host seconds of one recorded benchmark (defensive across versions)."""
+    stats = getattr(bench, "stats", None)
+    if stats is None:
+        return None
+    inner = getattr(stats, "stats", stats)
+    mean = getattr(inner, "mean", None)
+    try:
+        return None if mean is None else float(mean)
+    except (TypeError, ValueError):
+        return None
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the session's benchmarks as the ``BENCH_repro.json`` artifact."""
+    bs = getattr(session.config, "_benchmarksession", None)
+    if bs is None or not getattr(bs, "benchmarks", None):
+        return
+    entries = []
+    for bench in bs.benchmarks:
+        entry = {
+            "kernel": bench.fullname,
+            "group": getattr(bench, "group", None),
+            "host_seconds": _bench_mean_seconds(bench),
+            "extra_info": jsonify(dict(getattr(bench, "extra_info", {}) or {})),
+        }
+        entries.append(entry)
+    doc = {
+        "manifest": ensure_manifest().to_dict(),
+        "n_benchmarks": len(entries),
+        "entries": entries,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_repro.json"
+    out.write_text(json.dumps(jsonify(doc), indent=2, sort_keys=True))
 
 
 @pytest.fixture

@@ -9,7 +9,10 @@ Commands:
 * ``connectivity`` — build the link-cut spanning forest and answer
   s–t queries;
 * ``simulate`` — construct the graph on a chosen representation and sweep
-  a simulated machine (the Figure 2/4 style table for *your* graph).
+  a simulated machine (the Figure 2/4 style table for *your* graph);
+* ``trace`` — run a canned workload with span tracing enabled, print the
+  span tree (host time, simulated time, top counters) and export the
+  manifest-stamped JSONL trace (see docs/OBSERVABILITY.md).
 
 The figure reproductions live under ``python -m repro.experiments``.
 """
@@ -126,6 +129,61 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_workload(args: argparse.Namespace) -> None:
+    """The traced workloads: small end-to-end slices of the library."""
+    from repro import obs
+    from repro.api import DynamicGraph
+    from repro.core.bfs import bfs_profile
+    from repro.generators import mixed_stream, rmat_graph
+    from repro.machine import SimulatedMachine
+
+    sim = SimulatedMachine(args.machine)
+    graph = rmat_graph(
+        args.scale, args.edge_factor, seed=args.seed, ts_range=(1, 100)
+    )
+    with obs.span("trace.build_graph", n=graph.n, m=graph.m):
+        g = DynamicGraph.from_edgelist(graph, representation=args.representation)
+
+    if args.workload in ("quickstart", "updates"):
+        stream = mixed_stream(graph, args.updates, insert_frac=0.75, seed=args.seed)
+        res = g.apply(stream)
+        sim.sweep(res.profile, n_items=res.n_updates)
+    if args.workload in ("quickstart", "connectivity"):
+        index = g.spanning_forest()
+        queries = index.random_query_batch(args.queries, seed=args.seed)
+        sim.sweep(queries.profile, n_items=queries.n_queries)
+    if args.workload in ("quickstart", "bfs"):
+        res = g.bfs(0, ts_range=(20, 70))
+        profile = bfs_profile(g.snapshot(), res)
+        sim.sweep(profile, n_items=max(res.total_edges_scanned, 1))
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    manifest = obs.RunManifest.capture(
+        seed=args.seed, machine=args.machine, workload=args.workload
+    )
+    obs.set_manifest(manifest)
+    out = Path(args.out) if args.out else Path(f"trace-{args.workload}.jsonl")
+    memory = obs.MemorySink()
+    jsonl = obs.JsonlSink(out)
+    obs.METRICS.reset()
+    obs.enable_tracing(obs.TeeSink(memory, jsonl), manifest=manifest)
+    try:
+        with obs.span(f"trace.{args.workload}", workload=args.workload):
+            _trace_workload(args)
+    finally:
+        obs.disable_tracing()
+        jsonl.close()
+    print(manifest.summary())
+    print()
+    print(obs.describe(memory.events, metrics=obs.METRICS))
+    print()
+    print(f"wrote {jsonl.n_written} trace events -> {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -159,6 +217,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--random", type=int, default=0, help="also run N random queries")
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(fn=cmd_connectivity)
+
+    p = sub.add_parser(
+        "trace", help="run a workload with tracing on; print/export the span tree"
+    )
+    p.add_argument("workload", nargs="?", default="quickstart",
+                   choices=["quickstart", "updates", "bfs", "connectivity"])
+    p.add_argument("--scale", type=int, default=11, help="n = 2^scale")
+    p.add_argument("--edge-factor", type=int, default=8)
+    p.add_argument("--updates", type=int, default=2000,
+                   help="mixed-stream length for the update workloads")
+    p.add_argument("--queries", type=int, default=10_000,
+                   help="connectivity query count")
+    p.add_argument("--representation", default="hybrid",
+                   choices=["dynarr", "dynarr-nr", "treap", "hybrid", "vpart",
+                            "epart", "batched"])
+    p.add_argument("--machine", default="t2", choices=["t1", "t2", "power570"])
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--out", default=None,
+                   help="JSONL trace path (default: trace-<workload>.jsonl)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("simulate", help="sweep a workload on a simulated machine")
     p.add_argument("graph")

@@ -34,6 +34,7 @@ from repro.core.update_engine import UpdateResult, apply_stream
 from repro.edgelist import EdgeList
 from repro.errors import GraphError
 from repro.generators.streams import UpdateStream
+from repro.obs import METRICS, span
 
 __all__ = ["DynamicGraph"]
 
@@ -146,7 +147,12 @@ class DynamicGraph:
     def apply(self, stream: UpdateStream, **kwargs) -> UpdateResult:
         """Apply a whole update stream; returns results + work profile."""
         kwargs.setdefault("undirected", not self.directed)
-        return apply_stream(self.rep, stream, **kwargs)
+        with span(
+            "api.apply", representation=self.rep.kind, n_updates=len(stream)
+        ) as sp:
+            res = apply_stream(self.rep, stream, **kwargs)
+            sp.set(misses=res.misses, host_seconds=res.host_seconds)
+        return res
 
     # ------------------------------------------------------------------ #
     # queries on the dynamic structure
@@ -187,31 +193,40 @@ class DynamicGraph:
         after updates that exactly cancel.
         """
         if refresh or self._snapshot is None or self._snapshot_arcs != self.rep.n_arcs:
-            self._snapshot = csr_from_representation(self.rep)
+            with span("api.snapshot", n=self.n, arcs=self.rep.n_arcs):
+                self._snapshot = csr_from_representation(self.rep)
             self._snapshot_arcs = self.rep.n_arcs
+            METRICS.inc("api.snapshot_rebuilds")
+        else:
+            METRICS.inc("api.snapshot_cache_hits")
         return self._snapshot
 
     def bfs(self, source: int, *, ts_range: tuple[int, int] | None = None) -> BFSResult:
         """Breadth-first search over the current snapshot (section 3.3)."""
-        return bfs(self.snapshot(), source, ts_range=ts_range)
+        with span("api.bfs", source=int(source)):
+            return bfs(self.snapshot(), source, ts_range=ts_range)
 
     def connected_components(self) -> ComponentsResult:
         """Connected components of the current snapshot."""
-        return connected_components(self.snapshot())
+        with span("api.connected_components"):
+            return connected_components(self.snapshot())
 
     def spanning_forest(self) -> ConnectivityIndex:
         """Link-cut spanning forest for connectivity queries (section 3.1)."""
-        return ConnectivityIndex.from_csr(self.snapshot())
+        with span("api.spanning_forest", n=self.n):
+            return ConnectivityIndex.from_csr(self.snapshot())
 
     def induced_interval(self, t_lo: int, t_hi: int, **kwargs) -> InducedResult:
         """Temporal induced subgraph of edges in (t_lo, t_hi) (section 3.2)."""
-        src, dst, ts = self.rep.to_arrays()
-        edges = EdgeList(self.n, src, dst, ts=ts, directed=True)
-        return induced_subgraph(edges, t_lo, t_hi, **kwargs)
+        with span("api.induced_interval", t_lo=int(t_lo), t_hi=int(t_hi)):
+            src, dst, ts = self.rep.to_arrays()
+            edges = EdgeList(self.n, src, dst, ts=ts, directed=True)
+            return induced_subgraph(edges, t_lo, t_hi, **kwargs)
 
     def st_connectivity(self, s: int, t: int, **kwargs) -> STConnResult:
         """Is there a path between s and t (bidirectional BFS)?"""
-        return st_connectivity(self.snapshot(), s, t, **kwargs)
+        with span("api.st_connectivity", s=int(s), t=int(t)):
+            return st_connectivity(self.snapshot(), s, t, **kwargs)
 
     def betweenness(
         self,
@@ -221,9 +236,10 @@ class DynamicGraph:
         seed=None,
     ) -> BetweennessResult:
         """(Temporal) betweenness centrality over the snapshot (section 3.4)."""
-        return temporal_betweenness(
-            self.snapshot(), sources=sources, temporal=temporal, seed=seed
-        )
+        with span("api.betweenness", temporal=temporal):
+            return temporal_betweenness(
+                self.snapshot(), sources=sources, temporal=temporal, seed=seed
+            )
 
     def closeness(self, **kwargs):
         """Closeness centrality over the snapshot (section 3.4's metric family)."""

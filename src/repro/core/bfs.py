@@ -26,6 +26,7 @@ import numpy as np
 from repro.adjacency.csr import CSRGraph
 from repro.errors import VertexError
 from repro.machine.profile import Phase, WorkProfile
+from repro.obs import METRICS, manifest_meta, span
 
 __all__ = ["BFSResult", "bfs", "bfs_profile"]
 
@@ -99,41 +100,47 @@ def bfs(
     res = BFSResult(source=source, dist=dist, parent=parent, ts_range=ts_range)
     frontier = np.array([source], dtype=np.int64)
     level = 0
-    while frontier.size:
-        starts = offsets[frontier]
-        ends = offsets[frontier + 1]
-        counts = ends - starts
-        total = int(counts.sum())
-        res.frontier_sizes.append(int(frontier.size))
-        res.edges_scanned.append(total)
-        res.max_frontier_degree.append(int(counts.max()) if counts.size else 0)
-        if max_levels is not None and level >= max_levels:
-            break
-        if total == 0:
-            break
-        # Flatten all adjacency ranges of the frontier into one index array.
-        reps = np.repeat(frontier, counts)
-        base = np.repeat(starts, counts)
-        offs = np.arange(total, dtype=np.int64) - np.repeat(
-            np.cumsum(counts) - counts, counts
-        )
-        idx = base + offs
-        nbrs = targets[idx]
-        if ts_range is not None:
-            lo, hi = ts_range
-            keep = (ts[idx] >= lo) & (ts[idx] <= hi)
-            nbrs = nbrs[keep]
-            reps = reps[keep]
-        unvisited = dist[nbrs] < 0
-        nbrs = nbrs[unvisited]
-        reps = reps[unvisited]
-        if nbrs.size == 0:
-            break
-        uniq, first = np.unique(nbrs, return_index=True)
-        level += 1
-        dist[uniq] = level
-        parent[uniq] = reps[first]
-        frontier = uniq
+    with span("core.bfs", source=int(source), n=graph.n, filtered=ts_range is not None) as sp:
+        while frontier.size:
+            starts = offsets[frontier]
+            ends = offsets[frontier + 1]
+            counts = ends - starts
+            total = int(counts.sum())
+            res.frontier_sizes.append(int(frontier.size))
+            res.edges_scanned.append(total)
+            res.max_frontier_degree.append(int(counts.max()) if counts.size else 0)
+            if max_levels is not None and level >= max_levels:
+                break
+            if total == 0:
+                break
+            # Flatten all adjacency ranges of the frontier into one index array.
+            reps = np.repeat(frontier, counts)
+            base = np.repeat(starts, counts)
+            offs = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            idx = base + offs
+            nbrs = targets[idx]
+            if ts_range is not None:
+                lo, hi = ts_range
+                keep = (ts[idx] >= lo) & (ts[idx] <= hi)
+                nbrs = nbrs[keep]
+                reps = reps[keep]
+            unvisited = dist[nbrs] < 0
+            nbrs = nbrs[unvisited]
+            reps = reps[unvisited]
+            if nbrs.size == 0:
+                break
+            uniq, first = np.unique(nbrs, return_index=True)
+            level += 1
+            dist[uniq] = level
+            parent[uniq] = reps[first]
+            frontier = uniq
+        sp.set(levels=res.n_levels, reached=res.n_reached,
+               edges_scanned=res.total_edges_scanned)
+    METRICS.inc("bfs.runs")
+    METRICS.inc("bfs.levels", res.n_levels)
+    METRICS.inc("bfs.edges_scanned", res.total_edges_scanned)
     return res
 
 
@@ -189,5 +196,6 @@ def bfs_profile(
             "levels": result.n_levels,
             "reached": result.n_reached,
             "degree_split": degree_split,
+            **manifest_meta(),
         },
     )

@@ -20,6 +20,7 @@ from repro.adjacency.csr import CSRGraph
 from repro.core.linkcut import ConstructionRecord, LinkCutForest
 from repro.errors import GraphError
 from repro.machine.profile import Phase, WorkProfile
+from repro.obs import METRICS, manifest_meta, span
 from repro.util.seeding import make_rng
 
 __all__ = ["ConnectivityIndex", "QueryResult"]
@@ -61,7 +62,10 @@ class ConnectivityIndex:
 
     @classmethod
     def from_csr(cls, graph: CSRGraph) -> "ConnectivityIndex":
-        forest, record = LinkCutForest.from_csr(graph)
+        with span("connectivity.from_csr", n=graph.n, arcs=graph.n_arcs) as sp:
+            forest, record = LinkCutForest.from_csr(graph)
+            sp.set(trees=forest.n_trees())
+        METRICS.inc("connectivity.forests_built")
         return cls(forest, record)
 
     @property
@@ -91,8 +95,12 @@ class ConnectivityIndex:
         if us.shape != vs.shape or us.ndim != 1:
             raise GraphError("query endpoint arrays must be 1-D and equal length")
         before = self.forest.hops
-        answers = self.forest.connected_batch(us, vs)
-        hops = self.forest.hops - before
+        with span("connectivity.query_batch", n_queries=int(us.size)) as sp:
+            answers = self.forest.connected_batch(us, vs)
+            hops = self.forest.hops - before
+            sp.set(hops=int(hops))
+        METRICS.inc("connectivity.queries", int(us.size))
+        METRICS.inc("connectivity.hops", int(hops))
         footprint = float(self.forest.memory_bytes())
         phase = Phase(
             name="findroot",
@@ -103,7 +111,12 @@ class ConnectivityIndex:
         profile = WorkProfile(
             name,
             (phase,),
-            meta={"n_queries": int(us.size), "hops": int(hops), "n": self.forest.n},
+            meta={
+                "n_queries": int(us.size),
+                "hops": int(hops),
+                "n": self.forest.n,
+                **manifest_meta(),
+            },
         )
         return QueryResult(
             connected=answers,

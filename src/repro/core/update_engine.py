@@ -22,6 +22,7 @@ from repro.adjacency.base import AdjacencyRepresentation, HotStats
 from repro.edgelist import EdgeList
 from repro.generators.streams import UpdateStream, insertion_stream
 from repro.machine.profile import WorkProfile
+from repro.obs import METRICS, manifest_meta, span
 from repro.util.timing import Timer
 
 __all__ = ["UpdateResult", "apply_stream", "construct"]
@@ -90,16 +91,26 @@ def apply_stream(
         raise ValueError(f"probe_scale must be >= 0, got {probe_scale}")
     if reset_stats:
         rep.reset_stats()
-    op, src, dst, ts = _arc_stream(stream, undirected)
-    hot = HotStats.from_keys(src) if src.size else HotStats()
-    with Timer() as t:
-        misses = rep.apply_arcs(op, src, dst, ts)
-    if probe_scale != 1.0:
-        # Applies to the representation's own counters only: for the hybrid
-        # structure the long scans live in treaps at scale (its array probes
-        # are bounded by degree_thresh), so callers pass 1.0 there.
-        rep.stats.probe_words = int(rep.stats.probe_words * probe_scale)
-    phase = rep.phase(phase_name, hot)
+    with span(
+        "update_engine.apply_stream",
+        representation=rep.kind,
+        n_updates=len(stream),
+        phase=phase_name,
+        undirected=undirected,
+    ) as sp:
+        op, src, dst, ts = _arc_stream(stream, undirected)
+        hot = HotStats.from_keys(src) if src.size else HotStats()
+        with Timer() as t:
+            with span(f"adjacency.{rep.kind}.apply_arcs", n_arc_ops=int(op.size)):
+                misses = rep.apply_arcs(op, src, dst, ts)
+        if probe_scale != 1.0:
+            # Applies to the representation's own counters only: for the hybrid
+            # structure the long scans live in treaps at scale (its array probes
+            # are bounded by degree_thresh), so callers pass 1.0 there.
+            rep.stats.probe_words = int(rep.stats.probe_words * probe_scale)
+        phase = rep.phase(phase_name, hot)
+        sp.set(n_arc_ops=int(op.size), misses=misses, host_seconds=t.elapsed)
+    _tick_update_metrics(rep, op.size, misses)
     profile = WorkProfile(
         phase_name,
         (phase,),
@@ -112,6 +123,7 @@ def apply_stream(
             "deletes": stream.n_deletes,
             "undirected": undirected,
             "misses": misses,
+            **manifest_meta(),
         },
     )
     return UpdateResult(
@@ -123,6 +135,37 @@ def apply_stream(
         profile=profile,
         hot=hot,
     )
+
+
+def _tick_update_metrics(rep: AdjacencyRepresentation, n_arc_ops: int, misses: int) -> None:
+    """Fold one stream's work counters into the process metrics registry.
+
+    Ticked once per stream (phase granularity), never per arc — the hot
+    loops stay exactly as fast as before the obs subsystem existed.
+    """
+    METRICS.inc("update_engine.streams")
+    METRICS.inc("update_engine.arc_ops", int(n_arc_ops))
+    METRICS.inc("update_engine.delete_misses", misses)
+    # Composite structures (hybrid) split counters over sub-structures and
+    # merge them on demand; plain structures count directly into .stats.
+    combined = getattr(rep, "combined_stats", None)
+    s = combined() if callable(combined) else rep.stats
+    METRICS.inc_many(
+        f"adjacency.{rep.kind}",
+        {
+            "inserts": s.inserts,
+            "deletes": s.deletes,
+            "probe_words": s.probe_words,
+            "resize_events": s.resize_events,
+            "resize_copied_words": s.resize_copied_words,
+            "nodes_visited": s.nodes_visited,
+            "rotations": s.rotations,
+            "migrations": s.migrations,
+            "migration_words": s.migration_words,
+        },
+    )
+    METRICS.set(f"adjacency.{rep.kind}.live_arcs", rep.n_arcs)
+    METRICS.set(f"adjacency.{rep.kind}.memory_bytes", rep.memory_bytes())
 
 
 def construct(

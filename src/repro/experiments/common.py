@@ -23,6 +23,7 @@ from repro.machine.profile import WorkProfile
 from repro.machine.scale import ScaledInstance, scale_profile
 from repro.machine.sim import ScalingResult, SimulatedMachine
 from repro.machine.spec import MachineSpec
+from repro.obs import manifest_meta, span
 
 __all__ = [
     "SeriesSpec",
@@ -84,6 +85,11 @@ class FigureResult:
     checks: dict[str, tuple[bool, str]] = field(default_factory=dict)
     notes: str = ""
     meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Every figure result is attributable: stamp the run manifest so two
+        # exported result files are diffable across commits/seeds/machines.
+        self.meta = {**manifest_meta(), **self.meta}
 
     def check(self, description: str, passed: bool, detail: str = "") -> None:
         self.checks[description] = (bool(passed), detail)
@@ -162,12 +168,13 @@ def scaled_sweep(
     logdeg_correction: bool = False,
 ) -> SeriesSpec:
     """Scale a measured profile to the target instance and sweep threads."""
-    scaled = scale_profile(
-        profile,
-        instance,
-        scale_barriers_with_diameter=scale_barriers_with_diameter,
-        logdeg_correction=logdeg_correction,
-    )
-    sim = SimulatedMachine(machine)
-    result = sim.sweep(scaled, threads, n_items=n_items)
+    with span("experiments.scaled_sweep", label=label or profile.name):
+        scaled = scale_profile(
+            profile,
+            instance,
+            scale_barriers_with_diameter=scale_barriers_with_diameter,
+            logdeg_correction=logdeg_correction,
+        )
+        sim = SimulatedMachine(machine)
+        result = sim.sweep(scaled, threads, n_items=n_items)
     return SeriesSpec(label=label or profile.name, result=result)

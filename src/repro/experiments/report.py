@@ -11,9 +11,9 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-import numpy as np
-
 from repro.experiments import FIGURE_MODULES, FigureResult, get_figure
+from repro.obs import ensure_manifest
+from repro.util.jsonify import jsonify
 
 __all__ = ["figure_to_dict", "collect", "write_json"]
 
@@ -31,6 +31,7 @@ def figure_to_dict(result: FigureResult) -> dict:
         },
         "series": [],
         "rows": [_jsonify_row(r) for r in result.rows],
+        "meta": jsonify(result.meta),
     }
     for s in result.series:
         r = s.result
@@ -48,15 +49,10 @@ def figure_to_dict(result: FigureResult) -> dict:
 
 
 def _jsonify_row(row: dict) -> dict:
-    out = {}
-    for k, v in row.items():
-        if isinstance(v, (np.integer,)):
-            out[k] = int(v)
-        elif isinstance(v, (np.floating,)):
-            out[k] = float(v)
-        else:
-            out[k] = v
-    return out
+    # One shared coercion path (repro.util.jsonify) — also handles np.bool_
+    # and np.ndarray values, which the previous ad-hoc version passed
+    # through and which broke ``json.dump``.
+    return jsonify(row)
 
 
 def collect(
@@ -67,7 +63,11 @@ def collect(
 ) -> dict:
     """Run the reproductions and return one JSON-safe document."""
     names = figures if figures is not None else list(FIGURE_MODULES)
-    doc: dict = {"mode": "quick" if quick else "full", "figures": {}}
+    doc: dict = {
+        "mode": "quick" if quick else "full",
+        "manifest": ensure_manifest().to_dict(),
+        "figures": {},
+    }
     for name in names:
         doc["figures"][name] = figure_to_dict(get_figure(name)(quick=quick))
     if include_ablations:

@@ -17,6 +17,7 @@ from repro.errors import MachineModelError
 from repro.machine.cost import CostModel, PhaseCost
 from repro.machine.profile import WorkProfile
 from repro.machine.spec import MachineSpec, get_machine
+from repro.obs import METRICS, manifest_meta, span
 from repro.util.mups import speedup_series
 
 __all__ = ["SimulatedMachine", "ScalingResult", "default_thread_counts"]
@@ -119,7 +120,20 @@ class SimulatedMachine:
 
     def time(self, profile: WorkProfile, threads: int) -> float:
         """Simulated seconds for ``profile`` at ``threads`` threads."""
-        return self.model.seconds(profile, threads)
+        METRICS.inc("sim.evaluations")
+        seconds = self.model.seconds(profile, threads)
+        # Expected cache behaviour of the profile's random accesses — the
+        # contention hot-spot signal Figures 1/2 turn on.
+        hits = misses = 0.0
+        for p in profile.phases:
+            if p.rand_accesses:
+                h = self.model.hit_probability(p.footprint_bytes)
+                hits += h * p.rand_accesses
+                misses += (1.0 - h) * p.rand_accesses
+        if hits or misses:
+            METRICS.inc("sim.cache_hits", int(hits))
+            METRICS.inc("sim.cache_misses", int(misses))
+        return seconds
 
     def breakdown(self, profile: WorkProfile, threads: int) -> list[PhaseCost]:
         """Per-phase, per-component cycle breakdown."""
@@ -138,14 +152,25 @@ class SimulatedMachine:
             raise MachineModelError("thread sweep must be non-empty")
         if any(t <= 0 for t in counts):
             raise MachineModelError(f"thread counts must be positive: {counts}")
-        secs = tuple(self.time(profile, t) for t in counts)
+        with span(
+            "sim.sweep",
+            machine=self.spec.name,
+            workload=profile.name,
+            threads=list(counts),
+        ) as sp:
+            secs = tuple(self.time(profile, t) for t in counts)
+            sp.set(sim_seconds=min(secs))
+            if n_items is not None and secs:
+                sp.set(mups=n_items / min(secs) / 1e6)
+        meta = dict(profile.meta)
+        meta.update(manifest_meta())
         return ScalingResult(
             machine=self.spec.name,
             workload=profile.name,
             threads=counts,
             seconds=secs,
             n_items=n_items,
-            meta=dict(profile.meta),
+            meta=meta,
         )
 
     def mups_at(self, profile: WorkProfile, threads: int, n_updates: int) -> float:

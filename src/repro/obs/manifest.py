@@ -1,0 +1,141 @@
+"""Run manifests: who/what/where provenance for every result artifact.
+
+A :class:`RunManifest` pins down everything needed to compare two result
+files across commits and machines: git sha, seed, interpreter and numpy
+versions, platform, CLI arguments, simulated-machine name.  The manifest id
+is stamped into every ``WorkProfile.meta``, ``FigureResult.meta``, trace
+event and bench entry produced while it is current, so any number in any
+artifact can be traced back to the exact run that produced it.
+
+Most code never constructs a manifest explicitly: :func:`ensure_manifest`
+lazily captures one per process on first use (a single ``git rev-parse``
+subprocess, cached), and the ``repro trace`` CLI installs a richer one with
+the user's seed/argv via :func:`set_manifest`.
+"""
+
+from __future__ import annotations
+
+import platform as _platform
+import subprocess
+import sys
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.jsonify import jsonify
+
+__all__ = [
+    "RunManifest",
+    "capture_git_sha",
+    "set_manifest",
+    "current_manifest",
+    "ensure_manifest",
+    "manifest_meta",
+]
+
+
+def capture_git_sha() -> str:
+    """Best-effort git commit of the library's source tree (or "unknown")."""
+    for cwd in (Path(__file__).resolve().parent, Path.cwd()):
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=5.0,
+            )
+        except (OSError, subprocess.SubprocessError):
+            continue
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    return "unknown"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Immutable provenance record for one run."""
+
+    id: str
+    created: str
+    git_sha: str
+    python: str
+    numpy: str
+    platform: str
+    seed: int | None = None
+    argv: tuple[str, ...] = ()
+    machine: str | None = None
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def capture(
+        cls,
+        *,
+        seed: int | None = None,
+        machine=None,
+        argv: list[str] | None = None,
+        **extra,
+    ) -> "RunManifest":
+        """Snapshot the current process environment into a manifest.
+
+        ``machine`` accepts a :class:`~repro.machine.spec.MachineSpec` or a
+        plain name; ``argv`` defaults to the process arguments.
+        """
+        import numpy as np
+
+        machine_name = getattr(machine, "name", machine)
+        return cls(
+            id=uuid.uuid4().hex[:12],
+            created=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            git_sha=capture_git_sha(),
+            python=sys.version.split()[0],
+            numpy=np.__version__,
+            platform=_platform.platform(),
+            seed=None if seed is None else int(seed),
+            argv=tuple(sys.argv[1:] if argv is None else argv),
+            machine=None if machine_name is None else str(machine_name),
+            extra=dict(extra),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (via the shared jsonify rules)."""
+        return jsonify(self)
+
+    def summary(self) -> str:
+        """One-line rendering for CLI headers."""
+        bits = [f"manifest {self.id}", f"git {self.git_sha[:10]}"]
+        if self.seed is not None:
+            bits.append(f"seed {self.seed}")
+        if self.machine:
+            bits.append(f"machine {self.machine}")
+        bits.append(f"python {self.python}")
+        bits.append(f"numpy {self.numpy}")
+        return " | ".join(bits)
+
+
+#: Process-wide current manifest (lazily captured by :func:`ensure_manifest`).
+_CURRENT: RunManifest | None = None
+
+
+def set_manifest(manifest: RunManifest | None) -> None:
+    """Install ``manifest`` as the process-wide current one (None clears)."""
+    global _CURRENT
+    _CURRENT = manifest
+
+
+def current_manifest() -> RunManifest | None:
+    return _CURRENT
+
+
+def ensure_manifest(**capture_kwargs) -> RunManifest:
+    """Return the current manifest, capturing one on first use."""
+    global _CURRENT
+    if _CURRENT is None:
+        _CURRENT = RunManifest.capture(**capture_kwargs)
+    return _CURRENT
+
+
+def manifest_meta() -> dict:
+    """``{"manifest_id": ...}`` for splicing into result metadata dicts."""
+    return {"manifest_id": ensure_manifest().id}

@@ -1,0 +1,253 @@
+"""Nestable span tracing with a near-zero disabled path.
+
+A *span* is one timed region of a run — ``update_engine.apply_stream``,
+``adjacency.hybrid.apply_arcs``, ``sim.sweep`` — with monotonic start /
+duration, a parent/child id chain reconstructing the call tree, and free-form
+attributes (kernel metadata, counters, simulated seconds).  Spans are created
+through the module-level :func:`span` factory:
+
+>>> from repro.obs import enable_tracing, disable_tracing, span
+>>> tracer = enable_tracing()
+>>> with span("demo.outer", rep="hybrid"):
+...     with span("demo.inner"):
+...         pass
+>>> [e["name"] for e in tracer.sink.events]
+['demo.inner', 'demo.outer']
+>>> disable_tracing()
+
+Tracing is *off* by default.  When off, :func:`span` returns a shared no-op
+singleton — no object allocation, no clock reads, no sink traffic — so
+instrumented hot paths cost one function call and one ``is None`` test
+(measurably < 2% on a 100k-update stream; see the obs test-suite's overhead
+test).  Events are emitted on span *exit* (children before parents);
+:func:`format_span_tree` rebuilds and renders the tree afterwards.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Iterable
+
+from repro.obs.sink import MemorySink, TraceSink
+from repro.util.timing import format_seconds
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "current_tracer",
+    "format_span_tree",
+]
+
+
+class _NullSpan:
+    """Do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+    enabled = False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live traced region.  Use as a context manager."""
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "attrs", "t_start", "duration")
+    enabled = True
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int, parent_id: int | None, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.t_start = 0.0
+        self.duration = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes mid-span (results known only at the end)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.tracer._stack.append(self.span_id)
+        self.t_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.t_start
+        stack = self.tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._emit(self)
+        return False
+
+
+class Tracer:
+    """Span factory bound to one sink (and optionally one run manifest).
+
+    The parent of a new span is whatever span is currently open — spans nest
+    lexically, which matches the library's synchronous kernels.  Every
+    emitted event carries the manifest id when a manifest is attached, so a
+    JSONL trace is attributable to a commit/seed/machine on its own.
+    """
+
+    def __init__(self, sink: TraceSink | None = None, *, manifest=None) -> None:
+        self.sink = sink if sink is not None else MemorySink()
+        self.manifest = manifest
+        self._stack: list[int] = []
+        self._ids = itertools.count(1)
+        self.n_events = 0
+
+    def span(self, name: str, **attrs) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        return Span(self, name, next(self._ids), parent, attrs)
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def _emit(self, sp: Span) -> None:
+        event = {
+            "type": "span",
+            "name": sp.name,
+            "span_id": sp.span_id,
+            "parent_id": sp.parent_id,
+            "t_start": sp.t_start,
+            "duration": sp.duration,
+            "attrs": dict(sp.attrs),
+        }
+        if self.manifest is not None:
+            event["manifest_id"] = self.manifest.id
+        self.n_events += 1
+        self.sink.emit(event)
+
+
+#: The process-wide tracer (None = tracing disabled).
+_TRACER: Tracer | None = None
+
+
+def enable_tracing(sink: TraceSink | None = None, *, manifest=None) -> Tracer:
+    """Install a process-wide tracer; returns it (default sink: memory)."""
+    global _TRACER
+    _TRACER = Tracer(sink, manifest=manifest)
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    """Remove the process-wide tracer; :func:`span` becomes a no-op again."""
+    global _TRACER
+    _TRACER = None
+
+
+def tracing_enabled() -> bool:
+    return _TRACER is not None
+
+
+def current_tracer() -> Tracer | None:
+    return _TRACER
+
+
+def span(name: str, **attrs):
+    """Open a span on the process tracer (no-op singleton when disabled)."""
+    t = _TRACER
+    if t is None:
+        return _NULL_SPAN
+    return t.span(name, **attrs)
+
+
+# --------------------------------------------------------------------- #
+# rendering
+# --------------------------------------------------------------------- #
+
+#: Span attributes surfaced inline in the rendered tree, in display order.
+_TREE_ATTRS = (
+    "representation",
+    "n_updates",
+    "n_arc_ops",
+    "n_queries",
+    "levels",
+    "reached",
+    "machine",
+    "sim_seconds",
+    "best_seconds",
+    "mups",
+    "error",
+)
+
+
+def _fmt_attr(key: str, value) -> str:
+    if isinstance(value, float):
+        if key.endswith("seconds"):
+            return f"{key}={format_seconds(value)}" if value >= 0 else f"{key}={value:.3g}"
+        return f"{key}={value:.4g}"
+    return f"{key}={value}"
+
+
+def format_span_tree(events: Iterable[dict]) -> str:
+    """Render span events (any order) as an indented tree with durations.
+
+    Children are ordered by start time; durations use
+    :func:`~repro.util.timing.format_seconds`; a curated subset of attributes
+    is shown inline (everything is still in the raw events).
+    """
+    spans = [e for e in events if e.get("type") == "span"]
+    if not spans:
+        return "(no spans recorded)"
+    by_id = {e["span_id"]: e for e in spans}
+    children: dict[int | None, list[dict]] = {}
+    for e in spans:
+        parent = e.get("parent_id")
+        if parent is not None and parent not in by_id:
+            parent = None  # orphaned by ring-buffer eviction: promote to root
+        children.setdefault(parent, []).append(e)
+    for kids in children.values():
+        kids.sort(key=lambda e: e.get("t_start", 0.0))
+
+    name_width = max(
+        len(e["name"]) + 2 * _depth(e, by_id) for e in spans
+    )
+    lines: list[str] = []
+
+    def render(e: dict, depth: int) -> None:
+        attrs = e.get("attrs", {})
+        shown = [_fmt_attr(k, attrs[k]) for k in _TREE_ATTRS if k in attrs]
+        label = "  " * depth + e["name"]
+        line = f"{label.ljust(name_width)}  {format_seconds(e['duration']):>10}"
+        if shown:
+            line += "  " + " ".join(shown)
+        lines.append(line)
+        for kid in children.get(e["span_id"], []):
+            render(kid, depth + 1)
+
+    for root in children.get(None, []):
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def _depth(e: dict, by_id: dict) -> int:
+    d = 0
+    parent = e.get("parent_id")
+    seen = set()
+    while parent is not None and parent in by_id and parent not in seen:
+        seen.add(parent)
+        d += 1
+        parent = by_id[parent].get("parent_id")
+    return d

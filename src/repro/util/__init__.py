@@ -6,6 +6,7 @@ every other subpackage can import them without cycles.
 
 from repro.util.seeding import DEFAULT_SEED, make_rng, spawn_rngs, mix_seed
 from repro.util.timing import Timer, format_seconds
+from repro.util.jsonify import jsonify
 from repro.util.mups import mups, updates_per_second, format_rate, speedup_series
 from repro.util.validation import (
     as_index_array,
@@ -22,6 +23,7 @@ __all__ = [
     "mix_seed",
     "Timer",
     "format_seconds",
+    "jsonify",
     "mups",
     "updates_per_second",
     "format_rate",

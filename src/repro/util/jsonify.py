@@ -1,0 +1,60 @@
+"""One shared JSON-coercion helper for every exporter in the library.
+
+``json.dump`` chokes on numpy scalars (``np.int64``, ``np.float64``,
+``np.bool_``), numpy arrays, tuples-as-keys and other artefacts that leak
+out of measurement code.  Rather than each exporter carrying its own ad-hoc
+conversion (the experiment report, the trace sinks, the bench harness), they
+all route through :func:`jsonify`, which recursively rewrites a value into
+something ``json.dumps`` accepts verbatim.
+
+Conversion rules
+----------------
+* numpy integer / floating / bool scalars → Python ``int`` / ``float`` /
+  ``bool``;
+* numpy arrays → (nested) lists with scalar conversion applied;
+* mappings → ``dict`` with ``str`` keys and jsonified values;
+* sets / frozensets → sorted lists when orderable, else insertion lists;
+* tuples and other sequences → lists;
+* dataclass instances → jsonified field dicts;
+* ``Path`` and other unknown objects → ``str(value)`` as a last resort
+  (never raises — exporters must not lose a run over one odd value).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+__all__ = ["jsonify"]
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively coerce ``value`` into JSON-serialisable plain Python."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        try:
+            items = sorted(value)
+        except TypeError:
+            items = list(value)
+        return [jsonify(v) for v in items]
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonify(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    return str(value)

@@ -22,30 +22,55 @@ class Timer:
 
     The ``elapsed`` attribute keeps updating while the block runs and freezes
     on exit, so it can also be polled from inside long loops.
+
+    Timers are re-entrant and reusable: entering the same timer again
+    *accumulates* into ``elapsed`` (one timer can total many disjoint code
+    regions, which is how the span tracer attributes time to a recurring
+    phase), and nested ``with`` blocks on one timer count the outermost
+    interval once.  ``laps`` counts completed outermost intervals;
+    :meth:`reset` zeroes everything for a fresh measurement.
     """
 
-    __slots__ = ("_start", "_elapsed", "_running")
+    __slots__ = ("_start", "_accum", "_depth", "laps")
 
     def __init__(self) -> None:
         self._start = 0.0
-        self._elapsed = 0.0
-        self._running = False
+        self._accum = 0.0
+        self._depth = 0
+        self.laps = 0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        self._running = True
+        if self._depth == 0:
+            self._start = time.perf_counter()
+        self._depth += 1
         return self
 
     def __exit__(self, *exc) -> None:
-        self._elapsed = time.perf_counter() - self._start
-        self._running = False
+        if self._depth == 0:  # unmatched exit: ignore rather than corrupt
+            return
+        self._depth -= 1
+        if self._depth == 0:
+            self._accum += time.perf_counter() - self._start
+            self.laps += 1
+
+    def reset(self) -> None:
+        """Zero the accumulated time and lap count (timer must be stopped)."""
+        if self._depth:
+            raise RuntimeError("cannot reset a running Timer")
+        self._accum = 0.0
+        self.laps = 0
+
+    @property
+    def running(self) -> bool:
+        """True while inside at least one ``with`` block."""
+        return self._depth > 0
 
     @property
     def elapsed(self) -> float:
-        """Elapsed seconds (live while running, frozen after exit)."""
-        if self._running:
-            return time.perf_counter() - self._start
-        return self._elapsed
+        """Accumulated seconds (live while running, frozen after exit)."""
+        if self._depth > 0:
+            return self._accum + (time.perf_counter() - self._start)
+        return self._accum
 
 
 def format_seconds(seconds: float) -> str:

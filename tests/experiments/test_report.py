@@ -2,10 +2,11 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.experiments import get_figure
-from repro.experiments.report import collect, figure_to_dict, write_json
+from repro.experiments.report import _jsonify_row, collect, figure_to_dict, write_json
 
 
 class TestFigureToDict:
@@ -37,6 +38,31 @@ class TestFigureToDict:
         assert d["rows"]
         json.dumps(d)
 
+    def test_meta_carries_manifest_id(self, fig):
+        d = figure_to_dict(fig)
+        assert d["meta"]["manifest_id"]
+
+
+class TestJsonifyRow:
+    def test_numpy_scalars_and_arrays(self):
+        row = {
+            "count": np.int64(3),
+            "rate": np.float32(1.5),
+            "passed": np.bool_(True),
+            "series": np.array([1.0, 2.0]),
+            "label": "x",
+        }
+        out = _jsonify_row(row)
+        json.dumps(out)
+        assert out == {
+            "count": 3,
+            "rate": 1.5,
+            "passed": True,
+            "series": [1.0, 2.0],
+            "label": "x",
+        }
+        assert isinstance(out["passed"], bool)
+
 
 class TestCollect:
     def test_subset(self):
@@ -44,6 +70,13 @@ class TestCollect:
         assert set(doc["figures"]) == {"fig02", "fig09"}
         assert doc["all_passed"] is True
         assert doc["mode"] == "quick"
+
+    def test_document_manifest(self):
+        doc = collect(quick=True, figures=["fig09"])
+        json.dumps(doc)
+        manifest = doc["manifest"]
+        assert manifest["id"] and manifest["git_sha"] and manifest["numpy"]
+        assert doc["figures"]["fig09"]["meta"]["manifest_id"] == manifest["id"]
 
     def test_write_json(self, tmp_path):
         path = tmp_path / "report.json"

@@ -1,0 +1,29 @@
+"""Fixtures for the observability tests: clean global tracer/metrics state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Every test starts and ends with tracing off and zeroed metrics.
+
+    The current manifest is saved and restored so tests that install their
+    own (via ``set_manifest``) do not leak into the rest of the suite.
+    """
+    saved = obs.current_manifest()
+    obs.disable_tracing()
+    obs.METRICS.reset()
+    yield
+    obs.disable_tracing()
+    obs.METRICS.reset()
+    obs.set_manifest(saved)
+
+
+@pytest.fixture
+def tracer():
+    """An enabled tracer with a memory sink, torn down automatically."""
+    return obs.enable_tracing(obs.MemorySink())

@@ -1,0 +1,75 @@
+"""Tests for repro.obs.manifest."""
+
+import json
+
+import numpy as np
+
+from repro import obs
+from repro.obs.manifest import RunManifest, capture_git_sha
+
+
+class TestCapture:
+    def test_fields(self):
+        m = RunManifest.capture(seed=7, machine="t2", argv=["trace", "bfs"])
+        assert len(m.id) == 12
+        assert m.seed == 7
+        assert m.machine == "t2"
+        assert m.argv == ("trace", "bfs")
+        assert m.python.count(".") >= 1
+        assert m.numpy == np.__version__
+        assert m.created.endswith("Z")
+
+    def test_machine_spec_accepted(self):
+        from repro.machine.spec import ULTRASPARC_T2
+
+        m = RunManifest.capture(machine=ULTRASPARC_T2)
+        assert m.machine == ULTRASPARC_T2.name
+
+    def test_extra_kwargs(self):
+        m = RunManifest.capture(workload="quickstart")
+        assert m.extra == {"workload": "quickstart"}
+
+    def test_ids_unique(self):
+        assert RunManifest.capture().id != RunManifest.capture().id
+
+    def test_git_sha_shape(self):
+        sha = capture_git_sha()
+        # In a checkout this is a 40-hex commit; outside git it degrades
+        # to the sentinel rather than raising.
+        assert sha == "unknown" or len(sha) == 40
+
+
+class TestSerialisation:
+    def test_to_dict_json_safe(self):
+        m = RunManifest.capture(seed=1, machine="t1")
+        d = m.to_dict()
+        json.dumps(d)
+        assert d["id"] == m.id
+        assert d["argv"] == list(m.argv)
+
+    def test_summary_mentions_key_facts(self):
+        m = RunManifest.capture(seed=5, machine="t2")
+        s = m.summary()
+        assert m.id in s and "seed 5" in s and "t2" in s
+
+
+class TestCurrentManifest:
+    def test_ensure_captures_once(self):
+        obs.set_manifest(None)
+        m1 = obs.ensure_manifest()
+        m2 = obs.ensure_manifest()
+        assert m1 is m2
+        assert obs.current_manifest() is m1
+
+    def test_set_and_clear(self):
+        m = RunManifest.capture()
+        obs.set_manifest(m)
+        assert obs.current_manifest() is m
+        assert obs.ensure_manifest() is m
+        obs.set_manifest(None)
+        assert obs.current_manifest() is None
+
+    def test_manifest_meta_uses_current(self):
+        m = RunManifest.capture()
+        obs.set_manifest(m)
+        assert obs.manifest_meta() == {"manifest_id": m.id}

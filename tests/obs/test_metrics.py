@@ -1,0 +1,83 @@
+"""Tests for repro.obs.metrics."""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        c.reset()
+        assert c.value == 0
+
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_inc_convenience(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b", 5)
+        reg.inc("a.b")
+        assert reg.counter("a.b").value == 6
+
+    def test_inc_many_skips_zeros(self):
+        reg = MetricsRegistry()
+        reg.inc_many("adjacency.hybrid", {"inserts": 3, "rotations": 0})
+        snap = reg.snapshot()
+        assert snap["counters"] == {"adjacency.hybrid.inserts": 3}
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        reg.set("mem", 100.0)
+        reg.set("mem", 250.0)
+        assert reg.gauge("mem").value == 250.0
+
+
+class TestHistogram:
+    def test_observe_summary(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("lat", v)
+        s = reg.histogram("lat").summary()
+        assert s == {"count": 3, "total": 6.0, "mean": 2.0, "min": 1.0, "max": 3.0}
+
+    def test_empty_summary(self):
+        reg = MetricsRegistry()
+        s = reg.histogram("empty").summary()
+        assert s["count"] == 0 and s["min"] is None and s["max"] is None
+
+
+class TestRegistry:
+    def test_snapshot_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 3)
+        reg.set("g", 1.5)
+        reg.observe("h", 2.0)
+        json.dumps(reg.snapshot())
+
+    def test_top_counters_ranked_and_nonzero(self):
+        reg = MetricsRegistry()
+        reg.inc("small", 1)
+        reg.inc("big", 100)
+        reg.inc("mid", 10)
+        reg.counter("zero")
+        assert reg.top_counters(2) == [("big", 100), ("mid", 10)]
+        assert ("zero", 0) not in reg.top_counters(10)
+
+    def test_reset_zeroes_but_keeps_names(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 3)
+        reg.set("g", 1.0)
+        reg.observe("h", 1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 0}
+        assert snap["gauges"] == {"g": 0.0}
+        assert snap["histograms"]["h"]["count"] == 0

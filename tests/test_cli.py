@@ -64,6 +64,58 @@ class TestConnectivity:
         assert "500 random queries" in out
 
 
+class TestTrace:
+    def test_quickstart_tree_and_jsonl(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "quickstart", "--scale", "9", "--edge-factor", "6",
+            "--updates", "300", "--queries", "500", "--out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        # The span tree reaches representation depth through the API and
+        # update engine, and carries simulated time + counters.
+        assert "trace.quickstart" in printed
+        assert "api.apply" in printed
+        assert "update_engine.apply_stream" in printed
+        assert "adjacency.hybrid.apply_arcs" in printed
+        assert "sim.sweep" in printed
+        assert "sim_seconds" in printed
+        assert "top counters" in printed
+        assert "manifest" in printed
+
+        events = read_jsonl(out)
+        assert events
+        ids = {e["manifest_id"] for e in events}
+        assert len(ids) == 1  # every event stamped with the run manifest
+        by_id = {e["span_id"]: e for e in events}
+
+        def depth_of(e):
+            d, p = 0, e["parent_id"]
+            while p is not None:
+                d += 1
+                p = by_id[p]["parent_id"]
+            return d
+
+        max_depth = max(depth_of(e) for e in events)
+        assert max_depth >= 3  # root -> api -> engine -> representation
+
+    def test_single_kernel_workload(self, tmp_path, capsys):
+        out = tmp_path / "bfs.jsonl"
+        assert main(["trace", "bfs", "--scale", "8", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "core.bfs" in printed
+        assert out.exists()
+
+    def test_tracing_disabled_after_run(self, tmp_path):
+        from repro import obs
+
+        assert main(["trace", "connectivity", "--scale", "8",
+                     "--out", str(tmp_path / "c.jsonl")]) == 0
+        assert not obs.tracing_enabled()
+
+
 class TestSimulate:
     @pytest.mark.parametrize("rep", ["hybrid", "dynarr", "dynarr-nr"])
     def test_representations(self, graph_file, rep, capsys):

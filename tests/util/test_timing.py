@@ -32,6 +32,62 @@ class TestTimer:
             with t:
                 raise RuntimeError("boom")
         assert t.elapsed >= 0.0
+        assert not t.running
+
+
+class TestTimerReuse:
+    def test_repeated_blocks_accumulate(self):
+        t = Timer()
+        with t:
+            time.sleep(0.005)
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed > first
+        assert t.laps == 2
+
+    def test_accumulation_is_additive(self):
+        t = Timer()
+        for _ in range(3):
+            with t:
+                time.sleep(0.003)
+        assert 0.009 <= t.elapsed < 1.0
+        assert t.laps == 3
+
+    def test_nested_counts_outermost_once(self):
+        t = Timer()
+        with t:
+            with t:
+                time.sleep(0.005)
+            inner_done = t.elapsed
+            assert t.running  # still inside the outer block
+        assert t.laps == 1
+        assert t.elapsed >= inner_done >= 0.005
+
+    def test_live_elapsed_includes_accumulated(self):
+        t = Timer()
+        with t:
+            time.sleep(0.003)
+        with t:
+            assert t.elapsed >= 0.003  # prior lap included while running
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            time.sleep(0.002)
+        t.reset()
+        assert t.elapsed == 0.0 and t.laps == 0
+
+    def test_reset_while_running_rejected(self):
+        t = Timer()
+        with t:
+            with pytest.raises(RuntimeError):
+                t.reset()
+
+    def test_unmatched_exit_is_ignored(self):
+        t = Timer()
+        t.__exit__(None, None, None)
+        assert t.elapsed == 0.0 and t.laps == 0 and not t.running
 
 
 class TestFormatSeconds:
