@@ -1,0 +1,162 @@
+"""Benchmark regression gate for the CI ``bench-regression`` job.
+
+Compares the per-kernel host seconds of a freshly produced
+``BENCH_repro.json`` (the merged document the benchmark suite's
+``pytest_sessionfinish`` hook maintains — see :mod:`repro.obs.bench`)
+against the committed ``benchmarks/baseline.json`` and exits non-zero when
+any kernel slowed down by more than the threshold (default 25%).
+
+Usage::
+
+    # gate (CI): compare current numbers against the committed baseline
+    python benchmarks/check_regression.py \
+        --bench BENCH_repro.json --baseline benchmarks/baseline.json
+
+    # refresh: distill a bench document into a new baseline
+    python benchmarks/check_regression.py \
+        --bench BENCH_repro.json --write-baseline benchmarks/baseline.json
+
+Design notes:
+
+* Only kernels present in *both* documents are gated.  Kernels that exist
+  in the baseline but were not re-run are reported as skipped (the CI job
+  runs a fixed subset); new kernels are reported and pass (they get gated
+  once the baseline is refreshed from a main push).
+* Timings below ``--min-seconds`` (default 5 ms) are ignored: at that
+  magnitude shared-runner jitter swamps any real change.
+* Stdlib only, runnable without the package installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_MIN_SECONDS = 0.005
+
+
+def load_kernel_seconds(path: Path) -> dict[str, float]:
+    """kernel -> host seconds, from either document shape.
+
+    Accepts a full bench document (``{"entries": [{kernel, host_seconds,
+    ...}]}``) or a distilled baseline (``{"kernels": {name: seconds}}``).
+    """
+    doc = json.loads(path.read_text())
+    if isinstance(doc.get("kernels"), dict):
+        return {str(k): float(v) for k, v in doc["kernels"].items() if v is not None}
+    out: dict[str, float] = {}
+    for entry in doc.get("entries", []):
+        secs = entry.get("host_seconds")
+        if secs is not None:
+            out[str(entry.get("kernel"))] = float(secs)
+    return out
+
+
+def write_baseline(bench: Path, baseline: Path) -> int:
+    kernels = load_kernel_seconds(bench)
+    if not kernels:
+        print(f"error: no timed kernels in {bench}", file=sys.stderr)
+        return 2
+    doc = json.loads(bench.read_text())
+    out = {
+        "comment": (
+            "Benchmark baseline medians (seconds). Refreshed by CI on main "
+            "pushes; compare with benchmarks/check_regression.py."
+        ),
+        "manifest": doc.get("manifest"),
+        "kernels": {k: round(v, 6) for k, v in sorted(kernels.items())},
+    }
+    baseline.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"wrote baseline for {len(kernels)} kernel(s) to {baseline}")
+    return 0
+
+
+def check(bench: Path, baseline: Path, threshold: float, min_seconds: float) -> int:
+    current = load_kernel_seconds(bench)
+    base = load_kernel_seconds(baseline)
+    if not current:
+        print(f"error: no timed kernels in {bench}", file=sys.stderr)
+        return 2
+
+    regressions: list[str] = []
+    width = max((len(k) for k in current), default=6)
+    print(f"{'kernel'.ljust(width)}  {'base':>10} {'current':>10} {'ratio':>7}  verdict")
+    for kernel in sorted(current):
+        secs = current[kernel]
+        ref = base.get(kernel)
+        if ref is None:
+            print(f"{kernel.ljust(width)}  {'-':>10} {secs:>10.4f} {'-':>7}  NEW (unbaselined)")
+            continue
+        ratio = secs / ref if ref > 0 else float("inf")
+        if max(secs, ref) < min_seconds:
+            verdict = "ok (below noise floor)"
+        elif ratio > 1.0 + threshold:
+            verdict = f"REGRESSION (> +{threshold:.0%})"
+            regressions.append(f"{kernel}: {ref:.4f}s -> {secs:.4f}s ({ratio:.2f}x)")
+        else:
+            verdict = "ok"
+        print(f"{kernel.ljust(width)}  {ref:>10.4f} {secs:>10.4f} {ratio:>6.2f}x  {verdict}")
+    skipped = sorted(set(base) - set(current))
+    if skipped:
+        print(f"({len(skipped)} baselined kernel(s) not re-run: {', '.join(skipped)})")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark regression(s) beyond +{threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond +{threshold:.0%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench",
+        type=Path,
+        default=Path("BENCH_repro.json"),
+        help="freshly produced bench document (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/baseline.json"),
+        help="committed baseline to gate against (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional slowdown (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="ignore kernels faster than this (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        metavar="PATH",
+        default=None,
+        help="instead of gating, distill --bench into a baseline at PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if args.write_baseline is not None:
+        return write_baseline(args.bench, args.write_baseline)
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; nothing to gate against (pass)")
+        return 0
+    return check(args.bench, args.baseline, args.threshold, args.min_seconds)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

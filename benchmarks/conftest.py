@@ -19,13 +19,13 @@ commits — the perf trajectory ROADMAP asks for.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import pytest
 
 from repro.experiments import FigureResult
 from repro.obs import ensure_manifest
+from repro.obs.bench import update_bench_file
 from repro.util.jsonify import jsonify
 
 
@@ -65,7 +65,14 @@ def _bench_mean_seconds(bench) -> float | None:
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Persist the session's benchmarks as the ``BENCH_repro.json`` artifact."""
+    """Merge the session's benchmarks into the ``BENCH_repro.json`` artifact.
+
+    Merging (rather than overwriting) matters because the CI
+    bench-regression job runs each benchmark file in its own pytest
+    invocation: every invocation contributes its entries, entries for
+    re-run kernels are replaced, and the rest of the document survives
+    (see :func:`repro.obs.bench.merge_bench_document`).
+    """
     bs = getattr(session.config, "_benchmarksession", None)
     if bs is None or not getattr(bs, "benchmarks", None):
         return
@@ -78,13 +85,8 @@ def pytest_sessionfinish(session, exitstatus):
             "extra_info": jsonify(dict(getattr(bench, "extra_info", {}) or {})),
         }
         entries.append(entry)
-    doc = {
-        "manifest": ensure_manifest().to_dict(),
-        "n_benchmarks": len(entries),
-        "entries": entries,
-    }
     out = Path(__file__).resolve().parent.parent / "BENCH_repro.json"
-    out.write_text(json.dumps(jsonify(doc), indent=2, sort_keys=True))
+    update_bench_file(out, entries, manifest=ensure_manifest().to_dict())
 
 
 @pytest.fixture

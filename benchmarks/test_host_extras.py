@@ -7,7 +7,6 @@ compressed snapshot codec.
 """
 
 import numpy as np
-import pytest
 
 from repro.adjacency.compressed import CompressedCSR
 from repro.adjacency.csr import build_csr

@@ -7,7 +7,6 @@ query rates.  Useful for tracking real-code regressions independent of the
 machine simulation.
 """
 
-import numpy as np
 import pytest
 
 from repro.adjacency.csr import build_csr

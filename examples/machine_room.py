@@ -13,7 +13,6 @@ Run:  python examples/machine_room.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.adjacency.dynarr import DynArrAdjacency
 from repro.adjacency.hybrid import HybridAdjacency

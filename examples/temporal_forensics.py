@@ -15,7 +15,6 @@ Run:  python examples/temporal_forensics.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.api import DynamicGraph
 from repro.core.connectivity import ConnectivityIndex

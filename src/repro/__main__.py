@@ -12,7 +12,11 @@ Commands:
   a simulated machine (the Figure 2/4 style table for *your* graph);
 * ``trace`` — run a canned workload with span tracing enabled, print the
   span tree (host time, simulated time, top counters) and export the
-  manifest-stamped JSONL trace (see docs/OBSERVABILITY.md).
+  manifest-stamped JSONL trace (see docs/OBSERVABILITY.md).  Takes
+  ``--backend process --workers N`` to execute the analysis kernels on the
+  shared-memory worker pool (docs/PARALLEL.md); the ``fig08``/``fig10``
+  workloads then also time serial vs process, verify bit-identity, and
+  merge the measured comparison into ``BENCH_repro.json``.
 
 The figure reproductions live under ``python -m repro.experiments``.
 """
@@ -129,7 +133,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _trace_workload(args: argparse.Namespace) -> None:
+def _resolve_trace_backend(args: argparse.Namespace):
+    """Build the (possibly pooled) execution backend the trace asked for."""
+    from repro.parallel.backend import resolve_backend
+
+    be, _ = resolve_backend(args.backend, workers=args.workers)
+    return be
+
+
+def _trace_workload(args: argparse.Namespace, backend) -> None:
     """The traced workloads: small end-to-end slices of the library."""
     from repro import obs
     from repro.api import DynamicGraph
@@ -150,19 +162,109 @@ def _trace_workload(args: argparse.Namespace) -> None:
         sim.sweep(res.profile, n_items=res.n_updates)
     if args.workload in ("quickstart", "connectivity"):
         index = g.spanning_forest()
-        queries = index.random_query_batch(args.queries, seed=args.seed)
+        queries = index.random_query_batch(
+            args.queries, seed=args.seed, backend=backend
+        )
         sim.sweep(queries.profile, n_items=queries.n_queries)
+    if args.workload in ("quickstart", "components"):
+        g.connected_components(backend=backend)
     if args.workload in ("quickstart", "bfs"):
-        res = g.bfs(0, ts_range=(20, 70))
+        res = g.bfs(0, ts_range=(20, 70), backend=backend)
         profile = bfs_profile(g.snapshot(), res)
         sim.sweep(profile, n_items=max(res.total_edges_scanned, 1))
+
+
+def _trace_backend_compare(args: argparse.Namespace, backend) -> None:
+    """The ``fig08`` / ``fig10`` workloads: measured serial-vs-process runs.
+
+    Runs the figure's kernel once on the serial backend and once on the
+    requested one, asserts the results are bit-identical, prints the
+    measured wall-clock comparison, and merges a ``trace.<workload>``
+    entry (host seconds, speedup, manifest) into ``BENCH_repro.json``.
+    """
+    import time
+
+    import numpy as np
+
+    from repro import obs
+    from repro.adjacency.csr import build_csr
+    from repro.core.bfs import bfs
+    from repro.core.connectivity import ConnectivityIndex
+    from repro.generators import rmat_graph
+    from repro.obs.bench import update_bench_file
+
+    ts_range = (0, 1000)
+    graph = rmat_graph(args.scale, args.edge_factor, seed=args.seed, ts_range=ts_range)
+    with obs.span("trace.build_graph", n=graph.n, m=graph.m):
+        csr = build_csr(graph)
+
+    if args.workload == "fig10":
+        source = int(np.argmax(csr.degrees()))
+        t0 = time.perf_counter()
+        serial = bfs(csr, source, ts_range=ts_range)
+        serial_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        other = backend.bfs(csr, source, ts_range=ts_range)
+        other_s = time.perf_counter() - t0
+        identical = bool(
+            np.array_equal(serial.dist, other.dist)
+            and np.array_equal(serial.parent, other.parent)
+        )
+        detail = f"{serial.n_levels} levels, {serial.n_reached}/{csr.n} reached"
+    else:  # fig08
+        index = ConnectivityIndex.from_csr(csr)
+        t0 = time.perf_counter()
+        serial = index.random_query_batch(args.queries, seed=args.seed)
+        serial_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        other = index.random_query_batch(args.queries, seed=args.seed, backend=backend)
+        other_s = time.perf_counter() - t0
+        identical = bool(np.array_equal(serial.connected, other.connected))
+        detail = f"{args.queries} queries, {serial.hops_per_query:.1f} hops/query"
+
+    if not identical:
+        raise SystemExit(
+            f"backend {backend.name!r} results differ from serial — "
+            "determinism contract violated"
+        )
+    speedup = serial_s / other_s if other_s > 0 else float("inf")
+    workers = getattr(backend, "workers", 1)
+    print(
+        f"{args.workload}: serial {serial_s:.3f}s vs {backend.name} "
+        f"({workers} workers) {other_s:.3f}s -> speedup {speedup:.2f}x "
+        f"[results identical; {detail}]"
+    )
+    entry = {
+        "kernel": f"trace.{args.workload}[scale={args.scale}]",
+        "group": "trace-backend",
+        "host_seconds": other_s,
+        "extra_info": {
+            "backend": backend.name,
+            "workers": workers,
+            "serial_seconds": serial_s,
+            "speedup_vs_serial": round(speedup, 3),
+            "identical_to_serial": identical,
+            "detail": detail,
+        },
+    }
+    doc = update_bench_file(Path.cwd() / "BENCH_repro.json", [entry])
+    print(f"merged measured comparison into BENCH_repro.json "
+          f"({doc['n_benchmarks']} entries)")
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro import obs
 
+    if args.scale is None:
+        # The figure workloads default to the scale-12 R-MAT instance the
+        # benchmark baseline uses; the quickstart slices stay smaller.
+        args.scale = 12 if args.workload in ("fig08", "fig10") else 11
     manifest = obs.RunManifest.capture(
-        seed=args.seed, machine=args.machine, workload=args.workload
+        seed=args.seed,
+        machine=args.machine,
+        workload=args.workload,
+        backend=args.backend,
+        workers=args.workers,
     )
     obs.set_manifest(manifest)
     out = Path(args.out) if args.out else Path(f"trace-{args.workload}.jsonl")
@@ -170,10 +272,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
     jsonl = obs.JsonlSink(out)
     obs.METRICS.reset()
     obs.enable_tracing(obs.TeeSink(memory, jsonl), manifest=manifest)
+    backend = _resolve_trace_backend(args)
     try:
-        with obs.span(f"trace.{args.workload}", workload=args.workload):
-            _trace_workload(args)
+        with obs.span(
+            f"trace.{args.workload}", workload=args.workload, backend=backend.name
+        ):
+            if args.workload in ("fig08", "fig10"):
+                _trace_backend_compare(args, backend)
+            else:
+                _trace_workload(args, backend)
     finally:
+        backend.close()
         obs.disable_tracing()
         jsonl.close()
     print(manifest.summary())
@@ -222,8 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="run a workload with tracing on; print/export the span tree"
     )
     p.add_argument("workload", nargs="?", default="quickstart",
-                   choices=["quickstart", "updates", "bfs", "connectivity"])
-    p.add_argument("--scale", type=int, default=11, help="n = 2^scale")
+                   choices=["quickstart", "updates", "bfs", "connectivity",
+                            "components", "fig08", "fig10"])
+    p.add_argument("--scale", type=int, default=None,
+                   help="n = 2^scale (default: 11, or 12 for fig08/fig10)")
     p.add_argument("--edge-factor", type=int, default=8)
     p.add_argument("--updates", type=int, default=2000,
                    help="mixed-stream length for the update workloads")
@@ -233,6 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["dynarr", "dynarr-nr", "treap", "hybrid", "vpart",
                             "epart", "batched"])
     p.add_argument("--machine", default="t2", choices=["t1", "t2", "power570"])
+    p.add_argument("--backend", default="serial", choices=["serial", "process"],
+                   help="execution backend for the analysis kernels "
+                        "(process = shared-memory worker pool)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-backend worker count (default: visible CPUs)")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--out", default=None,
                    help="JSONL trace path (default: trace-<workload>.jsonl)")

@@ -39,6 +39,13 @@ from repro.obs import METRICS, span
 __all__ = ["DynamicGraph"]
 
 
+def _resolve_backend(backend, workers):
+    """Lazy import of the backend resolver (keeps serial paths light)."""
+    from repro.parallel.backend import resolve_backend
+
+    return resolve_backend(backend, workers=workers)
+
+
 class DynamicGraph:
     """A temporal graph under structural updates, with analysis kernels.
 
@@ -201,15 +208,47 @@ class DynamicGraph:
             METRICS.inc("api.snapshot_cache_hits")
         return self._snapshot
 
-    def bfs(self, source: int, *, ts_range: tuple[int, int] | None = None) -> BFSResult:
-        """Breadth-first search over the current snapshot (section 3.3)."""
-        with span("api.bfs", source=int(source)):
-            return bfs(self.snapshot(), source, ts_range=ts_range)
+    def bfs(
+        self,
+        source: int,
+        *,
+        ts_range: tuple[int, int] | None = None,
+        backend: str | object = "serial",
+        workers: int | None = None,
+    ) -> BFSResult:
+        """Breadth-first search over the current snapshot (section 3.3).
 
-    def connected_components(self) -> ComponentsResult:
-        """Connected components of the current snapshot."""
-        with span("api.connected_components"):
-            return connected_components(self.snapshot())
+        ``backend="process"`` runs the shared-memory multiprocess driver
+        (see docs/PARALLEL.md) — results are bit-identical to the serial
+        kernel.  Pass a :class:`~repro.parallel.ProcessBackend` instance to
+        reuse one worker pool across many calls.
+        """
+        be, owned = _resolve_backend(backend, workers)
+        try:
+            with span("api.bfs", source=int(source), backend=be.name):
+                return be.bfs(self.snapshot(), source, ts_range=ts_range)
+        finally:
+            if owned:
+                be.close()
+
+    def connected_components(
+        self,
+        *,
+        backend: str | object = "serial",
+        workers: int | None = None,
+    ) -> ComponentsResult:
+        """Connected components of the current snapshot.
+
+        ``backend="process"`` hooks labels in parallel over shared memory;
+        the labels (and pass/jump counts) are bit-identical to serial.
+        """
+        be, owned = _resolve_backend(backend, workers)
+        try:
+            with span("api.connected_components", backend=be.name):
+                return be.connected_components(self.snapshot())
+        finally:
+            if owned:
+                be.close()
 
     def spanning_forest(self) -> ConnectivityIndex:
         """Link-cut spanning forest for connectivity queries (section 3.1)."""

@@ -82,23 +82,41 @@ class ConnectivityIndex:
         """Single s–t connectivity query (two findroots)."""
         return self.forest.connected(u, v)
 
-    def query_batch(self, us, vs, *, name: str = "connectivity-queries") -> QueryResult:
+    def query_batch(
+        self,
+        us,
+        vs,
+        *,
+        name: str = "connectivity-queries",
+        backend: str | object = "serial",
+        workers: int | None = None,
+    ) -> QueryResult:
         """Answer many queries and profile the measured pointer work.
 
         The phase is read-only (no synchronisation), perfectly divisible
         (queries are independent), and entirely dependent random accesses —
         the linked-list-traversal behaviour the paper calls out as having
         poor serial performance but excellent parallel scaling.
+        ``backend="process"`` chases the pointers from a worker pool over
+        the shared parent array (docs/PARALLEL.md); answers and hop counts
+        are identical to the serial batch.
         """
+        from repro.parallel.backend import resolve_backend
+
         us = np.asarray(us, dtype=np.int64)
         vs = np.asarray(vs, dtype=np.int64)
         if us.shape != vs.shape or us.ndim != 1:
             raise GraphError("query endpoint arrays must be 1-D and equal length")
-        before = self.forest.hops
-        with span("connectivity.query_batch", n_queries=int(us.size)) as sp:
-            answers = self.forest.connected_batch(us, vs)
-            hops = self.forest.hops - before
-            sp.set(hops=int(hops))
+        be, owned = resolve_backend(backend, workers=workers)
+        try:
+            with span(
+                "connectivity.query_batch", n_queries=int(us.size), backend=be.name
+            ) as sp:
+                answers, hops = be.query_batch(self.forest, us, vs)
+                sp.set(hops=int(hops))
+        finally:
+            if owned:
+                be.close()
         METRICS.inc("connectivity.queries", int(us.size))
         METRICS.inc("connectivity.hops", int(hops))
         footprint = float(self.forest.memory_bytes())
@@ -115,6 +133,8 @@ class ConnectivityIndex:
                 "n_queries": int(us.size),
                 "hops": int(hops),
                 "n": self.forest.n,
+                "backend": be.name,
+                "workers": int(getattr(be, "workers", 1)),
                 **manifest_meta(),
             },
         )
@@ -131,6 +151,8 @@ class ConnectivityIndex:
         seed: int | np.random.Generator | None = None,
         *,
         name: str = "connectivity-queries",
+        backend: str | object = "serial",
+        workers: int | None = None,
     ) -> QueryResult:
         """``k`` uniform random vertex-pair queries (Figure 8's workload)."""
         if k < 0:
@@ -138,7 +160,7 @@ class ConnectivityIndex:
         rng = make_rng(seed)
         us = rng.integers(0, self.forest.n, size=k, dtype=np.int64)
         vs = rng.integers(0, self.forest.n, size=k, dtype=np.int64)
-        return self.query_batch(us, vs, name=name)
+        return self.query_batch(us, vs, name=name, backend=backend, workers=workers)
 
     # ------------------------------------------------------------------ #
     # maintenance under updates

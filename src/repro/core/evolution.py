@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.adjacency.csr import build_csr
 from repro.core.components import connected_components
-from repro.core.metrics import average_clustering, degree_stats
+from repro.core.metrics import degree_stats
 from repro.edgelist import EdgeList
 from repro.errors import GraphError
 from repro.util.seeding import make_rng

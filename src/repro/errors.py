@@ -17,6 +17,8 @@ __all__ = [
     "MachineModelError",
     "ProfileError",
     "NotInForestError",
+    "ParallelError",
+    "WorkerCrashError",
 ]
 
 
@@ -50,3 +52,16 @@ class ProfileError(ReproError):
 
 class NotInForestError(ReproError):
     """A link-cut tree operation referenced a vertex with no tree node."""
+
+
+class ParallelError(ReproError):
+    """The multiprocess execution backend was misused or misconfigured."""
+
+
+class WorkerCrashError(ParallelError):
+    """A pool worker died (or failed) instead of returning a result.
+
+    Raised by :class:`repro.parallel.pool.WorkerPool` when a worker process
+    exits abnormally mid-task or reports an exception, so callers see a
+    clean error instead of a hang on a half-finished round.
+    """

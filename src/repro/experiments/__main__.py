@@ -6,17 +6,52 @@ Usage::
     python -m repro.experiments --full          # full measured scale
     python -m repro.experiments fig05 fig06     # a subset
     python -m repro.experiments --ablations     # the ablation sweeps too
+    python -m repro.experiments --json report.json   # machine-readable report
 
 Prints each figure's series tables and shape checks (the content recorded in
-EXPERIMENTS.md) and exits non-zero if any shape check fails.
+EXPERIMENTS.md) and exits non-zero if any shape check fails.  ``--json``
+additionally writes every result — series numbers, rows, checks, manifest
+meta — to a report file; the nightly CI job uploads this as its artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
-from repro.experiments import FIGURE_MODULES, get_figure
+from repro.experiments import FIGURE_MODULES, FigureResult, get_figure
+from repro.obs import ensure_manifest
+from repro.util.jsonify import jsonify
+
+
+def _result_dict(name: str, result: FigureResult) -> dict:
+    """Flatten one figure result for the JSON report."""
+    return {
+        "module": name,
+        "figure": result.figure,
+        "title": result.title,
+        "notes": result.notes,
+        "all_passed": result.all_passed,
+        "checks": {
+            desc: {"passed": ok, "detail": detail}
+            for desc, (ok, detail) in result.checks.items()
+        },
+        "rows": result.rows,
+        "meta": result.meta,
+        "series": [
+            {
+                "label": s.label,
+                "machine": s.result.machine,
+                "threads": list(s.result.threads),
+                "seconds": s.result.seconds,
+                "speedups": s.result.speedups,
+                "mups": s.result.mups,
+            }
+            for s in result.series
+        ],
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,14 +75,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also run the four ablation sweeps",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write a machine-readable report of every result",
+    )
     args = parser.parse_args(argv)
 
     failed = 0
+    report: list[dict] = []
     for name in args.figures:
         run = get_figure(name)
         result = run(quick=not args.full)
         print(result.render())
         print()
+        report.append(_result_dict(name, result))
         if not result.all_passed:
             failed += 1
 
@@ -65,8 +108,20 @@ def main(argv: list[str] | None = None) -> int:
             result = fn(quick=not args.full)
             print(result.render())
             print()
+            report.append(_result_dict(fn.__name__, result))
             if not result.all_passed:
                 failed += 1
+
+    if args.json:
+        doc = {
+            "manifest": ensure_manifest().to_dict(),
+            "full_scale": bool(args.full),
+            "n_results": len(report),
+            "n_failed": failed,
+            "results": report,
+        }
+        Path(args.json).write_text(json.dumps(jsonify(doc), indent=2, sort_keys=True))
+        print(f"wrote report for {len(report)} experiment(s) to {args.json}")
 
     if failed:
         print(f"{failed} experiment(s) had failing shape checks", file=sys.stderr)

@@ -22,6 +22,7 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 from repro.util.jsonify import jsonify
 
@@ -73,9 +74,9 @@ class RunManifest:
         cls,
         *,
         seed: int | None = None,
-        machine=None,
+        machine: object = None,
         argv: list[str] | None = None,
-        **extra,
+        **extra: object,
     ) -> "RunManifest":
         """Snapshot the current process environment into a manifest.
 
@@ -128,7 +129,7 @@ def current_manifest() -> RunManifest | None:
     return _CURRENT
 
 
-def ensure_manifest(**capture_kwargs) -> RunManifest:
+def ensure_manifest(**capture_kwargs: Any) -> RunManifest:
     """Return the current manifest, capturing one on first use."""
     global _CURRENT
     if _CURRENT is None:

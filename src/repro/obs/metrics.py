@@ -157,9 +157,7 @@ class MetricsRegistry:
 
     def top_counters(self, k: int = 10) -> list[tuple[str, int]]:
         """The ``k`` largest counters, descending (name tie-break)."""
-        ranked = sorted(
-            self._counters.items(), key=lambda kv: (-kv[1].value, kv[0])
-        )
+        ranked = sorted(self._counters.items(), key=lambda kv: (-kv[1].value, kv[0]))
         return [(name, c.value) for name, c in ranked[:k] if c.value]
 
     def snapshot(self) -> dict:

@@ -21,9 +21,12 @@ from __future__ import annotations
 import json
 from collections import deque
 from pathlib import Path
-from typing import IO, Iterable
+from typing import IO, TYPE_CHECKING, Iterable
 
 from repro.util.jsonify import jsonify
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["TraceSink", "MemorySink", "JsonlSink", "TeeSink", "read_jsonl", "describe"]
 
@@ -40,7 +43,7 @@ class TraceSink:
     def __enter__(self) -> "TraceSink":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -70,7 +73,7 @@ class MemorySink(TraceSink):
 class JsonlSink(TraceSink):
     """Append events to ``path``, one JSON object per line."""
 
-    def __init__(self, path, *, append: bool = False) -> None:
+    def __init__(self, path: str | Path, *, append: bool = False) -> None:
         self.path = Path(path)
         self._fh: IO[str] | None = self.path.open("a" if append else "w")
         self.n_written = 0
@@ -103,9 +106,9 @@ class TeeSink(TraceSink):
             s.close()
 
 
-def read_jsonl(path) -> list[dict]:
+def read_jsonl(path: str | Path) -> list[dict]:
     """Load a JSONL trace file back into a list of event dicts."""
-    events = []
+    events: list[dict] = []
     with Path(path).open() as fh:
         for line in fh:
             line = line.strip()
@@ -117,7 +120,7 @@ def read_jsonl(path) -> list[dict]:
 def describe(
     events: Iterable[dict],
     *,
-    metrics: "object | None" = None,
+    metrics: "MetricsRegistry | None" = None,
     top: int = 12,
 ) -> str:
     """Human-readable run summary: span tree plus the busiest counters.
@@ -131,8 +134,9 @@ def describe(
     if metrics is not None:
         ranked = metrics.top_counters(top)
         if ranked:
+            n_counters = len(metrics.snapshot()["counters"])
             lines.append("")
-            lines.append(f"-- top counters ({len(ranked)} of {len(metrics.snapshot()['counters'])}) --")
+            lines.append(f"-- top counters ({len(ranked)} of {n_counters}) --")
             width = max(len(name) for name, _ in ranked)
             for name, value in ranked:
                 lines.append(f"  {name.ljust(width)}  {value:>14,}")

@@ -27,10 +27,13 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.obs.sink import MemorySink, TraceSink
 from repro.util.timing import format_seconds
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.manifest import RunManifest
 
 __all__ = [
     "Span",
@@ -53,10 +56,10 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
-    def set(self, **attrs) -> "_NullSpan":
+    def set(self, **attrs: object) -> "_NullSpan":
         return self
 
 
@@ -69,7 +72,14 @@ class Span:
     __slots__ = ("tracer", "name", "span_id", "parent_id", "attrs", "t_start", "duration")
     enabled = True
 
-    def __init__(self, tracer: "Tracer", name: str, span_id: int, parent_id: int | None, attrs: dict) -> None:
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        attrs: dict,
+    ) -> None:
         self.tracer = tracer
         self.name = name
         self.span_id = span_id
@@ -78,7 +88,7 @@ class Span:
         self.t_start = 0.0
         self.duration = 0.0
 
-    def set(self, **attrs) -> "Span":
+    def set(self, **attrs: object) -> "Span":
         """Attach attributes mid-span (results known only at the end)."""
         self.attrs.update(attrs)
         return self
@@ -88,7 +98,7 @@ class Span:
         self.t_start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: type | None, exc: object, tb: object) -> bool:
         self.duration = time.perf_counter() - self.t_start
         stack = self.tracer._stack
         if stack and stack[-1] == self.span_id:
@@ -108,14 +118,16 @@ class Tracer:
     JSONL trace is attributable to a commit/seed/machine on its own.
     """
 
-    def __init__(self, sink: TraceSink | None = None, *, manifest=None) -> None:
+    def __init__(
+        self, sink: TraceSink | None = None, *, manifest: "RunManifest | None" = None
+    ) -> None:
         self.sink = sink if sink is not None else MemorySink()
         self.manifest = manifest
         self._stack: list[int] = []
         self._ids = itertools.count(1)
         self.n_events = 0
 
-    def span(self, name: str, **attrs) -> Span:
+    def span(self, name: str, **attrs: object) -> Span:
         parent = self._stack[-1] if self._stack else None
         return Span(self, name, next(self._ids), parent, attrs)
 
@@ -144,7 +156,9 @@ class Tracer:
 _TRACER: Tracer | None = None
 
 
-def enable_tracing(sink: TraceSink | None = None, *, manifest=None) -> Tracer:
+def enable_tracing(
+    sink: TraceSink | None = None, *, manifest: "RunManifest | None" = None
+) -> Tracer:
     """Install a process-wide tracer; returns it (default sink: memory)."""
     global _TRACER
     _TRACER = Tracer(sink, manifest=manifest)
@@ -165,7 +179,7 @@ def current_tracer() -> Tracer | None:
     return _TRACER
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: object) -> "Span | _NullSpan":
     """Open a span on the process tracer (no-op singleton when disabled)."""
     t = _TRACER
     if t is None:
@@ -193,7 +207,7 @@ _TREE_ATTRS = (
 )
 
 
-def _fmt_attr(key: str, value) -> str:
+def _fmt_attr(key: str, value: object) -> str:
     if isinstance(value, float):
         if key.endswith("seconds"):
             return f"{key}={format_seconds(value)}" if value >= 0 else f"{key}={value:.3g}"
@@ -221,9 +235,7 @@ def format_span_tree(events: Iterable[dict]) -> str:
     for kids in children.values():
         kids.sort(key=lambda e: e.get("t_start", 0.0))
 
-    name_width = max(
-        len(e["name"]) + 2 * _depth(e, by_id) for e in spans
-    )
+    name_width = max(len(e["name"]) + 2 * _depth(e, by_id) for e in spans)
     lines: list[str] = []
 
     def render(e: dict, depth: int) -> None:

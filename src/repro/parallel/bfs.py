@@ -1,0 +1,233 @@
+"""Level-synchronous BFS over shared memory (process backend).
+
+The parent process runs the level loop of :func:`repro.core.bfs.bfs`
+unchanged; each level's edge gather — the O(m) hot part — fans out to the
+worker pool.  The frontier (always sorted, as in the serial kernel) is
+split into contiguous degree-balanced chunks (:func:`weighted_chunks`, the
+paper's unbalanced-degree optimisation at partition granularity); each
+worker gathers its chunk's adjacencies from the shared CSR arrays, applies
+the time-stamp filter and the not-yet-visited test against the shared
+``dist`` array, and returns only the surviving ``(neighbour, parent)``
+candidate pairs.  The parent concatenates the chunks *in order* — restoring
+exactly the serial kernel's flattened gather order — and applies the same
+``np.unique`` visit commit, so distances, parents and per-level statistics
+are bit-identical to the serial backend at every worker count.
+
+Workers also return a per-partition work-profile fragment (edges scanned,
+frontier vertices, heaviest vertex); the driver folds these into per-level
+partition records that ride along in the profile metadata
+(:func:`parallel_bfs_profile`) while the phase totals remain exactly the
+serial profile's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adjacency.csr import CSRGraph
+from repro.core.bfs import BFSResult, bfs_profile
+from repro.errors import VertexError
+from repro.machine.profile import WorkProfile
+from repro.obs import METRICS, span
+from repro.parallel.partition import weighted_chunks
+from repro.parallel.pool import TaskSpec, WorkerPool, task
+from repro.parallel.shm import ShmArena
+
+__all__ = ["parallel_bfs", "parallel_bfs_profile"]
+
+
+@task("bfs.level")
+def _bfs_level(views: dict, payload: dict) -> dict:
+    """Gather one frontier chunk's adjacencies (worker side)."""
+    lo, hi = payload["lo"], payload["hi"]
+    frontier = views["frontier"][lo:hi]
+    offsets = views["offsets"]
+    targets = views["targets"]
+    dist = views["dist"]
+    ts_range = payload["ts_range"]
+
+    starts = offsets[frontier]
+    counts = offsets[frontier + 1] - starts
+    total = int(counts.sum())
+    fragment = {
+        "vertices": int(frontier.size),
+        "edges": total,
+        "max_degree": int(counts.max()) if counts.size else 0,
+    }
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return {"nbrs": empty, "reps": empty, "fragment": fragment}
+    reps = np.repeat(frontier, counts)
+    base = np.repeat(starts, counts)
+    offs = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
+    idx = base + offs
+    nbrs = targets[idx]
+    if ts_range is not None:
+        ts = views["ts"]
+        lo_t, hi_t = ts_range
+        keep = (ts[idx] >= lo_t) & (ts[idx] <= hi_t)
+        nbrs = nbrs[keep]
+        reps = reps[keep]
+    unvisited = dist[nbrs] < 0
+    # Copy out of shared memory: the parent writes dist/frontier after the
+    # round, and the result crosses the process boundary by pickle anyway.
+    return {
+        "nbrs": np.ascontiguousarray(nbrs[unvisited]),
+        "reps": np.ascontiguousarray(reps[unvisited]),
+        "fragment": fragment,
+    }
+
+
+#: Levels scanning fewer edges than this run inline in the parent: a queue
+#: round-trip costs more than the gather itself.  Small-world graphs have a
+#: handful of wide levels (fanned out) and many narrow ones (inlined); the
+#: result is identical either way — the inline path is the same numpy math.
+SMALL_LEVEL_EDGES = 4096
+
+
+def parallel_bfs(
+    graph: CSRGraph,
+    source: int,
+    pool: WorkerPool,
+    *,
+    ts_range: tuple[int, int] | None = None,
+    max_levels: int | None = None,
+    small_level_edges: int = SMALL_LEVEL_EDGES,
+    fragments_out: list | None = None,
+) -> BFSResult:
+    """Multiprocess BFS, bit-identical to :func:`repro.core.bfs.bfs`.
+
+    ``fragments_out``, when given, receives one list per level of the
+    per-partition work fragments the workers reported (levels below
+    ``small_level_edges`` scanned edges carry a single parent-side
+    fragment marked ``"inline"``).
+    """
+    if not 0 <= source < graph.n:
+        raise VertexError(f"source {source} out of range [0, {graph.n})")
+    if ts_range is not None and graph.ts is None:
+        raise VertexError("graph has no time-stamps; cannot filter by ts_range")
+    pool.start()
+
+    dist = np.full(graph.n, -1, dtype=np.int64)
+    parent = np.full(graph.n, -1, dtype=np.int64)
+    dist[source] = 0
+
+    arrays = {
+        "offsets": graph.offsets,
+        "targets": graph.targets,
+        "dist": dist,
+        # Frontier scratch buffer: at most n vertices per level.
+        "frontier": np.zeros(max(graph.n, 1), dtype=np.int64),
+    }
+    if graph.ts is not None:
+        arrays["ts"] = graph.ts
+
+    res = BFSResult(source=source, dist=dist, parent=parent, ts_range=ts_range)
+    level = 0
+    with ShmArena.create(arrays) as arena:
+        descriptor = arena.descriptor
+        shared_dist = arena.view("dist")
+        shared_frontier = arena.view("frontier")
+        res.dist = shared_dist  # live view during the traversal
+        frontier = np.array([source], dtype=np.int64)
+        with span(
+            "parallel.bfs",
+            source=int(source),
+            n=graph.n,
+            workers=pool.workers,
+            filtered=ts_range is not None,
+        ) as sp:
+            while frontier.size:
+                counts = graph.offsets[frontier + 1] - graph.offsets[frontier]
+                total = int(counts.sum())
+                res.frontier_sizes.append(int(frontier.size))
+                res.edges_scanned.append(total)
+                res.max_frontier_degree.append(int(counts.max()) if counts.size else 0)
+                if max_levels is not None and level >= max_levels:
+                    break
+                if total == 0:
+                    break
+                shared_frontier[: frontier.size] = frontier
+                if total <= small_level_edges or pool.workers == 1:
+                    views = {
+                        "frontier": shared_frontier,
+                        "offsets": graph.offsets,
+                        "targets": graph.targets,
+                        "dist": shared_dist,
+                    }
+                    if graph.ts is not None:
+                        views["ts"] = graph.ts
+                    outs = [
+                        _bfs_level(
+                            views,
+                            {"lo": 0, "hi": frontier.size, "ts_range": ts_range},
+                        )
+                    ]
+                    outs[0]["fragment"]["inline"] = True
+                else:
+                    chunks = weighted_chunks(counts, pool.workers)
+                    outs = pool.run_tasks(
+                        [
+                            TaskSpec(
+                                "bfs.level",
+                                {"lo": lo, "hi": hi, "ts_range": ts_range},
+                                arenas=(descriptor,),
+                            )
+                            for lo, hi in chunks
+                        ]
+                    )
+                if fragments_out is not None:
+                    fragments_out.append([o["fragment"] for o in outs])
+                nbrs = np.concatenate([o["nbrs"] for o in outs])
+                reps = np.concatenate([o["reps"] for o in outs])
+                if nbrs.size == 0:
+                    break
+                uniq, first = np.unique(nbrs, return_index=True)
+                level += 1
+                shared_dist[uniq] = level
+                parent[uniq] = reps[first]
+                frontier = uniq
+            sp.set(
+                levels=res.n_levels,
+                reached=res.n_reached,
+                edges_scanned=res.total_edges_scanned,
+            )
+        # Detach from shared memory before the arena is unlinked.
+        res.dist = shared_dist.copy()
+    METRICS.inc("bfs.runs")
+    METRICS.inc("bfs.levels", res.n_levels)
+    METRICS.inc("bfs.edges_scanned", res.total_edges_scanned)
+    METRICS.inc("parallel.bfs_runs")
+    return res
+
+
+def parallel_bfs_profile(
+    graph: CSRGraph,
+    result: BFSResult,
+    fragments: list[list[dict]],
+    *,
+    workers: int,
+    name: str = "bfs",
+    degree_split: bool = True,
+) -> WorkProfile:
+    """The serial work profile plus per-partition fragment metadata.
+
+    Phase totals come from :func:`repro.core.bfs.bfs_profile` over the
+    (bit-identical) result, so simulated numbers are unchanged by the
+    backend; the fragments record how the measured run actually divided per
+    level, which the scaling figures surface next to the simulated curves.
+    """
+    profile = bfs_profile(graph, result, name=name, degree_split=degree_split)
+    return profile.with_meta(
+        backend="process",
+        workers=workers,
+        partitions=[
+            {
+                "level": i,
+                "chunks": len(frags),
+                "edges": [f["edges"] for f in frags],
+                "vertices": [f["vertices"] for f in frags],
+            }
+            for i, frags in enumerate(fragments)
+        ],
+    )

@@ -1,0 +1,378 @@
+"""Persistent process pool for the shared-memory execution backend.
+
+One :class:`WorkerPool` holds ``p`` long-lived worker processes.  Tasks are
+small picklable descriptors — a registered task name, the
+:class:`~repro.parallel.shm.ArenaDescriptor` of the shared arrays it reads,
+and a payload of scalars/index bounds — so the per-task traffic is bytes
+while the graph data crosses the process boundary exactly once, through
+shared memory.
+
+Design points:
+
+* **Deterministic routing** — task ``i`` of a round goes to worker
+  ``i % p`` and results are re-ordered by task index before they are
+  returned, so callers can merge partial results in submission order.
+* **Crash resilience** — the parent polls worker liveness while draining
+  results; a worker that dies mid-round raises
+  :class:`~repro.errors.WorkerCrashError` (and a worker that raises
+  re-raises here with the worker traceback attached) instead of hanging on
+  a queue that will never fill.
+* **Trace adoption** — when the parent has tracing enabled, workers record
+  spans into a private in-memory sink and ship the events back with their
+  result; :meth:`WorkerPool.run_tasks` re-emits them under the parent's
+  tracer (fresh span ids, parented at the current open span, tagged with
+  the worker id) so one JSONL trace shows the whole fan-out under the
+  parent's run manifest.
+
+Worker-side task functions are registered with :func:`task` at import time;
+``_worker_main`` imports the kernel modules explicitly so registration also
+happens under the ``spawn`` start method.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.errors import ParallelError, WorkerCrashError
+from repro.obs import METRICS, current_tracer, disable_tracing, enable_tracing, span
+from repro.obs.sink import MemorySink
+from repro.parallel.shm import ArenaDescriptor, ShmArena
+
+__all__ = ["TaskSpec", "WorkerPool", "task", "default_workers"]
+
+#: Registered worker-side task functions: name -> fn(views, payload) -> result.
+_TASKS: dict[str, Callable[[dict, dict], Any]] = {}
+
+#: Seconds a result drain waits between liveness polls.
+_POLL_SECONDS = 0.05
+
+
+def task(name: str) -> Callable[[Callable[[dict, dict], Any]], Callable[[dict, dict], Any]]:
+    """Decorator registering a worker-side task function under ``name``."""
+
+    def register(fn: Callable[[dict, dict], Any]) -> Callable[[dict, dict], Any]:
+        _TASKS[name] = fn
+        return fn
+
+    return register
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose: the visible CPUs."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+class TaskSpec:
+    """One unit of work: a task name, its shared arrays, and a payload."""
+
+    __slots__ = ("name", "arenas", "payload")
+
+    def __init__(
+        self,
+        name: str,
+        payload: dict,
+        arenas: Sequence[ArenaDescriptor] = (),
+    ) -> None:
+        self.name = name
+        self.payload = payload
+        self.arenas = tuple(arenas)
+
+
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
+
+
+def _worker_views(
+    cache: dict[str, ShmArena], descriptors: Sequence[ArenaDescriptor]
+) -> dict[str, Any]:
+    views: dict[str, Any] = {}
+    for d in descriptors:
+        arena = cache.get(d.shm_name or repr(d.specs))
+        if arena is None:
+            arena = ShmArena.attach(d)
+            cache[d.shm_name or repr(d.specs)] = arena
+        views.update(arena.views())
+    return views
+
+
+def _worker_main(worker_id: int, task_q: Any, result_q: Any) -> None:
+    # Explicit imports populate the task registry under the spawn method.
+    import repro.parallel.bfs  # noqa: F401
+    import repro.parallel.components  # noqa: F401
+    import repro.parallel.queries  # noqa: F401
+
+    arenas: dict[str, ShmArena] = {}
+    while True:
+        msg = task_q.get()
+        if msg is None:
+            break
+        task_id, name, descriptors, payload, traced = msg
+        events: list[dict] = []
+        try:
+            fn = _TASKS.get(name)
+            if fn is None:
+                raise ParallelError(f"worker has no task {name!r}; registered: {sorted(_TASKS)}")
+            sink = None
+            if traced:
+                sink = MemorySink()
+                enable_tracing(sink)
+            try:
+                with span(f"parallel.{name}", worker=worker_id, task=task_id):
+                    out = fn(_worker_views(arenas, descriptors), payload)
+            finally:
+                if sink is not None:
+                    events = list(sink.events)
+                    disable_tracing()
+            result_q.put((task_id, worker_id, "ok", out, events))
+        except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+            detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+            result_q.put((task_id, worker_id, "error", detail, events))
+    for arena in arenas.values():
+        arena.close()
+
+
+#: Self-test tasks used by the pool's own test-suite.
+
+
+@task("selftest.echo")
+def _selftest_echo(views: dict, payload: dict) -> dict:
+    with span("parallel.selftest.echo.inner"):
+        return {"echo": payload.get("value"), "arrays": sorted(views)}
+
+
+@task("selftest.exit")
+def _selftest_exit(views: dict, payload: dict) -> None:
+    # Simulates a hard worker crash (segfault/OOM-kill): no exception, no
+    # result, the process just disappears.
+    os._exit(int(payload.get("code", 1)))
+
+
+@task("selftest.fail")
+def _selftest_fail(views: dict, payload: dict) -> None:
+    # A task that raises: the worker survives and relays the traceback.
+    raise ValueError(str(payload.get("message", "selftest failure")))
+
+
+# --------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------- #
+
+
+class WorkerPool:
+    """``p`` persistent worker processes executing registered tasks.
+
+    Parameters
+    ----------
+    workers:
+        Process count (default: visible CPUs).
+    method:
+        ``multiprocessing`` start method; default ``fork`` where available
+        (cheap, inherits the import state), otherwise ``spawn``.
+    timeout:
+        Per-round ceiling in seconds while draining results; a round that
+        exceeds it raises :class:`~repro.errors.WorkerCrashError` naming the
+        outstanding tasks (hang protection for CI).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        method: str | None = None,
+        timeout: float = 300.0,
+    ) -> None:
+        import multiprocessing as mp
+
+        self.workers = int(workers) if workers else default_workers()
+        if self.workers <= 0:
+            raise ParallelError(f"worker count must be positive, got {workers}")
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(method)
+        self.method = method
+        self.timeout = float(timeout)
+        self._procs: list[Any] = []
+        self._task_qs: list[Any] = []
+        self._result_q: Any = None
+        self._started = False
+        self._closed = False
+        #: Monotonic task ids across rounds, so a late result from a timed-out
+        #: round can never be mistaken for one of the current round's.
+        self._task_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "WorkerPool":
+        if self._closed:
+            raise ParallelError("pool has been shut down")
+        if self._started:
+            return self
+        self._result_q = self._ctx.Queue()
+        for wid in range(self.workers):
+            tq = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(wid, tq, self._result_q),
+                name=f"repro-worker-{wid}",
+                daemon=True,
+            )
+            proc.start()
+            self._task_qs.append(tq)
+            self._procs.append(proc)
+        self._started = True
+        METRICS.inc("parallel.pools_started")
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        for tq in self._task_qs:
+            try:
+                tq.put(None)
+            except (OSError, ValueError):  # pragma: no cover - dead queue
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for q in (*self._task_qs, self._result_q):
+            if q is not None:
+                q.close()
+        self._procs.clear()
+        self._task_qs.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run_tasks(self, tasks: Sequence[TaskSpec]) -> list[Any]:
+        """Execute a round of tasks; results in submission order.
+
+        Task ``i`` runs on worker ``i % p``.  Raises
+        :class:`~repro.errors.WorkerCrashError` if any worker dies or
+        reports an exception; remaining results of the round are drained
+        best-effort first so the pool stays usable after a task error.
+        """
+        if not tasks:
+            return []
+        self.start()
+        traced = current_tracer() is not None
+        base = self._task_counter
+        self._task_counter += len(tasks)
+        for i, spec in enumerate(tasks):
+            if spec.name not in _TASKS:
+                raise ParallelError(f"unknown task {spec.name!r}")
+            self._task_qs[i % self.workers].put(
+                (base + i, spec.name, spec.arenas, spec.payload, traced)
+            )
+        results: dict[int, Any] = {}
+        errors: dict[int, str] = {}
+        deadline = self._now() + self.timeout
+        while len(results) + len(errors) < len(tasks):
+            got = self._drain_one(
+                deadline, n_expected=len(tasks), n_done=len(results) + len(errors)
+            )
+            task_id, worker_id, status, out, events = got
+            if not base <= task_id < base + len(tasks):
+                continue  # stale result from an abandoned round
+            if events:
+                self._adopt_events(events, worker_id)
+            if status == "ok":
+                results[task_id - base] = out
+            else:
+                errors[task_id - base] = out
+        METRICS.inc("parallel.tasks", len(tasks))
+        if errors:
+            first = min(errors)
+            raise WorkerCrashError(
+                f"{len(errors)} task(s) failed in round of {len(tasks)}; "
+                f"task {first} reported:\n{errors[first]}"
+            )
+        return [results[i] for i in range(len(tasks))]
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _now() -> float:
+        import time
+
+        return time.monotonic()
+
+    def _drain_one(self, deadline: float, *, n_expected: int, n_done: int) -> tuple:
+        import queue as queue_mod
+
+        while True:
+            try:
+                return self._result_q.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                dead = [(p.name, p.exitcode) for p in self._procs if not p.is_alive()]
+                if dead:
+                    names = ", ".join(f"{n} (exit {c})" for n, c in dead)
+                    self._teardown_after_crash()
+                    raise WorkerCrashError(
+                        f"worker process died mid-round: {names}; "
+                        f"{n_done}/{n_expected} results received"
+                    ) from None
+                if self._now() > deadline:
+                    raise WorkerCrashError(
+                        f"round timed out after {self.timeout:.0f}s with "
+                        f"{n_done}/{n_expected} results"
+                    ) from None
+
+    def _teardown_after_crash(self) -> None:
+        """Kill the survivors: round integrity is gone once one worker dies."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for q in (*self._task_qs, self._result_q):
+            if q is not None:
+                q.close()
+        self._procs.clear()
+        self._task_qs.clear()
+        self._result_q = None
+        self._started = False
+        self._closed = True
+
+    def _adopt_events(self, events: list[dict], worker_id: int) -> None:
+        """Re-emit worker span events under the parent tracer."""
+        tracer = current_tracer()
+        if tracer is None:
+            return
+        parent_open = tracer._stack[-1] if tracer._stack else None
+        remap: dict[int, int] = {}
+        for ev in events:
+            remap[ev["span_id"]] = next(tracer._ids)
+        for ev in events:
+            adopted = dict(ev)
+            adopted["span_id"] = remap[ev["span_id"]]
+            pid = ev.get("parent_id")
+            adopted["parent_id"] = remap.get(pid, parent_open) if pid is not None else parent_open
+            attrs = dict(ev.get("attrs", {}))
+            attrs.setdefault("worker", worker_id)
+            adopted["attrs"] = attrs
+            if tracer.manifest is not None:
+                adopted["manifest_id"] = tracer.manifest.id
+            tracer.n_events += 1
+            tracer.sink.emit(adopted)

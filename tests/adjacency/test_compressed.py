@@ -9,7 +9,7 @@ from repro.adjacency.reorder import apply_order, bfs_order, degree_order, locali
 from repro.edgelist import EdgeList
 from repro.errors import GraphError, VertexError
 from repro.generators.rmat import rmat_graph
-from repro.generators.reference import erdos_renyi, path_graph, star_graph
+from repro.generators.reference import path_graph, star_graph
 
 
 class TestVarint:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.adjacency.csr import CSRGraph, build_csr, csr_from_arrays, csr_from_representation
+from repro.adjacency.csr import CSRGraph, build_csr, csr_from_representation
 from repro.adjacency.dynarr import DynArrAdjacency
 from repro.edgelist import EdgeList
 from repro.errors import GraphError, VertexError

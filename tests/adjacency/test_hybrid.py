@@ -1,6 +1,5 @@
 """Tests for the Hybrid-arr-treap representation."""
 
-import numpy as np
 import pytest
 
 from repro.adjacency.hybrid import HybridAdjacency

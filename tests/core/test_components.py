@@ -2,7 +2,6 @@
 
 import networkx as nx
 import numpy as np
-import pytest
 
 from repro.adjacency.csr import build_csr
 from repro.core.components import connected_components

@@ -1,6 +1,5 @@
 """Tests for the link-cut forest."""
 
-import networkx as nx
 import numpy as np
 import pytest
 

@@ -8,7 +8,7 @@ from repro.adjacency.csr import build_csr
 from repro.core.pagerank import pagerank
 from repro.edgelist import EdgeList
 from repro.errors import GraphError
-from repro.generators.reference import path_graph, star_graph, to_networkx
+from repro.generators.reference import path_graph, star_graph
 
 
 class TestPageRank:

@@ -11,7 +11,7 @@ from repro.core.betweenness import temporal_betweenness
 from repro.core.weighted_bc import weighted_betweenness
 from repro.edgelist import EdgeList
 from repro.errors import GraphError
-from repro.generators.reference import erdos_renyi, path_graph, to_networkx
+from repro.generators.reference import erdos_renyi, path_graph
 from repro.util.seeding import make_rng
 
 

@@ -1,6 +1,5 @@
 """Tests for repro.machine.sim."""
 
-import numpy as np
 import pytest
 
 from repro.errors import MachineModelError

@@ -1,0 +1,80 @@
+"""BENCH_repro.json merge semantics (the cross-invocation clobber fix)."""
+
+import json
+
+from repro.obs.bench import load_bench_document, merge_bench_document, update_bench_file
+
+
+def entry(kernel, seconds):
+    return {"kernel": kernel, "host_seconds": seconds}
+
+
+def manifest(mid):
+    return {"id": mid, "host": "test"}
+
+
+class TestMerge:
+    def test_fresh_document(self):
+        doc = merge_bench_document(None, [entry("a", 1.0)], manifest=manifest("m1"))
+        assert doc["n_benchmarks"] == 1
+        assert doc["entries"] == [entry("a", 1.0)]
+        assert doc["manifest"]["id"] == "m1"
+        assert "previous_manifests" not in doc
+
+    def test_rerun_kernel_replaces_in_place(self):
+        first = merge_bench_document(
+            None, [entry("a", 1.0), entry("b", 2.0)], manifest=manifest("m1")
+        )
+        second = merge_bench_document(first, [entry("a", 9.0)], manifest=manifest("m2"))
+        assert [e["kernel"] for e in second["entries"]] == ["a", "b"]
+        assert second["entries"][0]["host_seconds"] == 9.0
+        assert second["entries"][1]["host_seconds"] == 2.0
+
+    def test_new_kernels_append_and_old_survive(self):
+        # The original bug: a second pytest invocation wiped the first's
+        # entries.  Merging must keep both.
+        first = merge_bench_document(None, [entry("fig02", 1.0)], manifest=manifest("m1"))
+        second = merge_bench_document(first, [entry("fig08", 2.0)], manifest=manifest("m2"))
+        assert [e["kernel"] for e in second["entries"]] == ["fig02", "fig08"]
+        assert second["n_benchmarks"] == 2
+
+    def test_manifest_history_is_retained_and_bounded(self):
+        doc = merge_bench_document(None, [entry("a", 1.0)], manifest=manifest("m0"))
+        for i in range(1, 12):
+            doc = merge_bench_document(doc, [entry("a", 1.0)], manifest=manifest(f"m{i}"))
+        assert doc["manifest"]["id"] == "m11"
+        prev = doc["previous_manifests"]
+        assert len(prev) == 8
+        assert [m["id"] for m in prev] == [f"m{i}" for i in range(3, 11)]
+
+    def test_same_manifest_not_duplicated_into_history(self):
+        doc = merge_bench_document(None, [entry("a", 1.0)], manifest=manifest("m1"))
+        doc = merge_bench_document(doc, [entry("b", 1.0)], manifest=manifest("m1"))
+        assert "previous_manifests" not in doc
+
+
+class TestLoad:
+    def test_absent_file(self, tmp_path):
+        assert load_bench_document(tmp_path / "nope.json") is None
+
+    def test_corrupt_file(self, tmp_path):
+        p = tmp_path / "bench.json"
+        p.write_text("{not json")
+        assert load_bench_document(p) is None
+
+    def test_wrong_shape(self, tmp_path):
+        p = tmp_path / "bench.json"
+        p.write_text(json.dumps({"entries": "not-a-list"}))
+        assert load_bench_document(p) is None
+
+
+class TestUpdateFile:
+    def test_two_invocations_both_land(self, tmp_path):
+        p = tmp_path / "BENCH_repro.json"
+        update_bench_file(p, [entry("fig02", 1.0)], manifest=manifest("m1"))
+        update_bench_file(p, [entry("fig08", 2.0)], manifest=manifest("m2"))
+        doc = load_bench_document(p)
+        assert doc is not None
+        assert sorted(e["kernel"] for e in doc["entries"]) == ["fig02", "fig08"]
+        assert doc["manifest"]["id"] == "m2"
+        assert [m["id"] for m in doc["previous_manifests"]] == ["m1"]

@@ -1,0 +1,21 @@
+"""Shared fixtures for the process-backend test suite.
+
+A single two-worker pool is shared across the whole session: pool start-up
+(fork + queue plumbing) costs tens of milliseconds, and every test only
+needs *some* pool, not a private one.  Tests that kill workers on purpose
+build their own throwaway pools.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.pool import WorkerPool
+
+
+@pytest.fixture(scope="session")
+def pool():
+    p = WorkerPool(2, timeout=120.0)
+    p.start()
+    yield p
+    p.shutdown()

@@ -1,0 +1,103 @@
+"""Shared-memory arena round trips (single process: attach by descriptor)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel.shm import ArraySpec, ShmArena
+
+
+class TestArraySpec:
+    def test_nbytes(self):
+        assert ArraySpec("a", "<i8", (3, 4), 0).nbytes == 96
+        assert ArraySpec("b", "<f4", (0,), 0).nbytes == 0
+
+
+class TestArenaRoundTrip:
+    def test_create_view_attach(self):
+        arrays = {
+            "ints": np.arange(100, dtype=np.int64),
+            "floats": np.linspace(0, 1, 17, dtype=np.float64),
+            "flags": np.array([True, False, True]),
+            "empty": np.empty(0, dtype=np.int64),
+        }
+        with ShmArena.create(arrays) as arena:
+            for name, arr in arrays.items():
+                np.testing.assert_array_equal(arena.view(name), arr)
+            other = ShmArena.attach(arena.descriptor)
+            try:
+                for name, arr in arrays.items():
+                    np.testing.assert_array_equal(other.view(name), arr)
+                assert sorted(other) == sorted(arrays)
+            finally:
+                other.close()
+
+    def test_mutation_is_visible_across_attachments(self):
+        with ShmArena.create({"x": np.zeros(8, dtype=np.int64)}) as arena:
+            other = ShmArena.attach(arena.descriptor)
+            try:
+                arena.view("x")[3] = 42
+                assert other.view("x")[3] == 42
+                other.view("x")[5] = 7
+                assert arena.view("x")[5] == 7
+            finally:
+                other.close()
+
+    def test_alignment(self):
+        specs = ShmArena.create(
+            {"a": np.zeros(3, dtype=np.int8), "b": np.zeros(5, dtype=np.int64)}
+        )
+        try:
+            b = specs.descriptor.specs[1]
+            assert b.name == "b"
+            assert b.offset % 64 == 0
+        finally:
+            specs.close()
+            specs.unlink()
+
+    def test_descriptor_is_picklable(self):
+        import pickle
+
+        with ShmArena.create({"x": np.arange(4)}) as arena:
+            d2 = pickle.loads(pickle.dumps(arena.descriptor))
+            assert d2 == arena.descriptor
+            other = ShmArena.attach(d2)
+            try:
+                np.testing.assert_array_equal(other.view("x"), np.arange(4))
+            finally:
+                other.close()
+
+
+class TestArenaErrors:
+    def test_empty_arena_rejected(self):
+        with pytest.raises(ParallelError, match="empty"):
+            ShmArena.create({})
+
+    def test_unknown_array_name(self):
+        with ShmArena.create({"x": np.arange(4)}) as arena:
+            with pytest.raises(ParallelError, match="no array"):
+                arena.view("y")
+
+    def test_view_after_close(self):
+        arena = ShmArena.create({"x": np.arange(4)})
+        arena.close()
+        arena.unlink()
+        with pytest.raises(ParallelError, match="closed"):
+            arena.view("x")
+
+    def test_close_is_idempotent(self):
+        arena = ShmArena.create({"x": np.arange(4)})
+        arena.close()
+        arena.close()
+        arena.unlink()
+        arena.unlink()
+
+    def test_zero_size_only_arena_has_no_segment(self):
+        with ShmArena.create({"e": np.empty(0, dtype=np.float64)}) as arena:
+            assert arena.nbytes == 0
+            assert arena.view("e").size == 0
+            other = ShmArena.attach(arena.descriptor)
+            try:
+                assert other.view("e").size == 0
+            finally:
+                other.close()

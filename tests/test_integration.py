@@ -18,7 +18,7 @@ from repro.core.connectivity import ConnectivityIndex
 from repro.core.update_engine import apply_stream, construct
 from repro.generators.rmat import rmat_graph
 from repro.generators.reference import to_networkx
-from repro.generators.streams import deletion_stream, insertion_stream, mixed_stream
+from repro.generators.streams import deletion_stream, mixed_stream
 from repro.machine.sim import SimulatedMachine
 from repro.machine.spec import ULTRASPARC_T2
 
