@@ -15,8 +15,11 @@ path and the static CSR snapshot format the analysis kernels consume:
 * :mod:`repro.adjacency.csr` — compressed sparse row snapshots.
 * :mod:`repro.adjacency.mempool` — the custom chunked allocator all of the
   dynamic structures draw from (the paper's "own memory management scheme").
+* :mod:`repro.adjacency.bulkops` — the shared vectorised bulk-update kernels
+  (group-by-owner batching with bit-identical counters; docs/PERFORMANCE.md).
 """
 
+from repro.adjacency import bulkops
 from repro.adjacency.mempool import IntPool
 from repro.adjacency.base import AdjacencyRepresentation, UpdateStats
 from repro.adjacency.csr import CSRGraph, build_csr
@@ -31,6 +34,7 @@ from repro.adjacency.reorder import apply_order, bfs_order, degree_order, locali
 from repro.adjacency.registry import REPRESENTATIONS, make_representation
 
 __all__ = [
+    "bulkops",
     "IntPool",
     "AdjacencyRepresentation",
     "UpdateStats",

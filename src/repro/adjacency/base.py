@@ -131,12 +131,23 @@ class AdjacencyRepresentation(abc.ABC):
     #: Short registry name, set by subclasses ("dynarr", "treap", ...).
     kind: str = "abstract"
 
+    #: True when :meth:`to_arrays` emits arcs grouped by ascending source
+    #: vertex (every implementation here does); lets the CSR builder skip
+    #: its stable sort.  Subclasses overriding :meth:`to_arrays` with a
+    #: different emission order must set this to False.
+    to_arrays_grouped: bool = True
+
     def __init__(self, n: int) -> None:
         if n < 0:
             raise VertexError(f"vertex count must be >= 0, got {n}")
         self.n = int(n)
         self.stats = UpdateStats()
-        self._n_arcs = 0
+        self._arcs_live = 0
+        self._mutations = 0
+        #: Per-instance override for the vectorised bulk kernels: True
+        #: forces them, False forces the scalar path, None defers to
+        #: :mod:`repro.adjacency.bulkops` defaults (env + batch size).
+        self.use_bulkops: bool | None = None
 
     # ------------------------------------------------------------------ #
     # abstract hot-path operations
@@ -180,11 +191,38 @@ class AdjacencyRepresentation(abc.ABC):
         """Live arcs currently stored."""
         return self._n_arcs
 
-    def bulk_insert(self, src, dst, ts=None) -> None:
-        """Insert many arcs; default implementation loops over :meth:`insert`.
+    @property
+    def _n_arcs(self) -> int:
+        return self._arcs_live
 
-        Subclasses may vectorise, but must keep counter semantics identical
-        to the sequential path (tests enforce this).
+    @_n_arcs.setter
+    def _n_arcs(self, value: int) -> None:
+        # Every hot-path mutator funnels through this assignment, so the
+        # monotonic mutation counter needs no per-structure wiring.  A
+        # same-value store (balanced insert+delete batch) still bumps it —
+        # the structure *did* change, which is exactly what snapshot caches
+        # must observe (the arc count alone cannot).
+        self._arcs_live = int(value)
+        self._mutations += 1
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic counter bumped by every structural mutation.
+
+        Cache key for snapshot consumers (:meth:`repro.api.DynamicGraph
+        .snapshot`): unlike the live arc count it cannot alias across a
+        balanced insert+delete mix.  Spurious bumps (a mutator storing an
+        unchanged arc count) are allowed — they cost a rebuild, never a
+        stale read.
+        """
+        return self._mutations
+
+    def bulk_insert_scalar(self, src, dst, ts=None) -> None:
+        """Reference bulk ingest: a strict loop over :meth:`insert`.
+
+        Kept callable on every representation so the equivalence suite (and
+        any caller wanting the exact sequential semantics) can bypass
+        vectorised overrides.
         """
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
@@ -193,13 +231,17 @@ class AdjacencyRepresentation(abc.ABC):
         for u, v, lbl in zip(src.tolist(), dst.tolist(), t.tolist()):
             ins(u, v, lbl)
 
-    def apply_arcs(self, op, src, dst, ts=None) -> int:
-        """Apply a mixed arc stream; returns the number of failed deletes.
+    def bulk_insert(self, src, dst, ts=None) -> None:
+        """Insert many arcs; the default delegates to the scalar loop.
 
-        ``op`` holds +1 (insert) / -1 (delete) codes.  The default processes
-        arcs strictly in arrival order; batched representations override
-        this with reordered application.
+        Subclasses may vectorise, but must keep counter semantics identical
+        to the sequential path (tests enforce this).
         """
+        self.bulk_insert_scalar(src, dst, ts)
+
+    def apply_arcs_scalar(self, op, src, dst, ts=None) -> int:
+        """Reference stream application: strict arrival order, one op at a
+        time.  Returns the number of failed deletes."""
         op = np.asarray(op, dtype=np.int8)
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
@@ -214,8 +256,22 @@ class AdjacencyRepresentation(abc.ABC):
                 misses += 1
         return misses
 
-    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Export all live arcs as ``(src, dst, ts)`` arrays (snapshotting)."""
+    def apply_arcs(self, op, src, dst, ts=None) -> int:
+        """Apply a mixed arc stream; returns the number of failed deletes.
+
+        ``op`` holds +1 (insert) / -1 (delete) codes.  All-insert streams
+        (construction workloads) route through :meth:`bulk_insert`; mixed
+        streams process strictly in arrival order unless a subclass provides
+        an equivalence-preserving vectorised override.
+        """
+        op = np.asarray(op, dtype=np.int8)
+        if op.size and bool(np.all(op == 1)):
+            self.bulk_insert(src, dst, ts)
+            return 0
+        return self.apply_arcs_scalar(op, src, dst, ts)
+
+    def to_arrays_scalar(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reference live-arc export: per-vertex :meth:`neighbors_with_ts`."""
         srcs, dsts, tss = [], [], []
         for u in range(self.n):
             nbr, lbl = self.neighbors_with_ts(u)
@@ -227,6 +283,14 @@ class AdjacencyRepresentation(abc.ABC):
             e = np.empty(0, dtype=np.int64)
             return e, e.copy(), e.copy()
         return np.concatenate(srcs), np.concatenate(dsts), np.concatenate(tss)
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Export all live arcs as ``(src, dst, ts)`` arrays (snapshotting).
+
+        Arcs are grouped by ascending source vertex (see
+        :attr:`to_arrays_grouped`), in per-vertex storage order.
+        """
+        return self.to_arrays_scalar()
 
     def degrees(self) -> np.ndarray:
         """All live out-degrees (int64 array of length n)."""

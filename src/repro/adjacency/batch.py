@@ -112,6 +112,17 @@ class BatchedAdjacency(AdjacencyRepresentation):
     def memory_bytes(self) -> int:
         return self.inner.memory_bytes()
 
+    def bulk_insert(self, src, dst, ts=None) -> None:
+        """Delegate to the inner structure's (vectorised) bulk ingest."""
+        self.inner.use_bulkops = self.use_bulkops
+        before = self.inner.n_arcs
+        self.inner.bulk_insert(src, dst, ts)
+        self._n_arcs += self.inner.n_arcs - before
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        self.inner.use_bulkops = self.use_bulkops
+        return self.inner.to_arrays()
+
     # Batched path -------------------------------------------------------- #
 
     def apply_arcs(self, op, src, dst, ts=None) -> int:
@@ -128,6 +139,7 @@ class BatchedAdjacency(AdjacencyRepresentation):
         t = np.zeros(src.size, dtype=np.int64) if ts is None else np.asarray(ts, dtype=np.int64)
         if src.size == 0:
             return 0
+        self.inner.use_bulkops = self.use_bulkops
         order = np.argsort(src, kind="stable")
         misses = self.inner.apply_arcs(op[order], src[order], dst[order], t[order])
         applied = int(src.size)

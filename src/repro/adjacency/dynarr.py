@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.adjacency import bulkops
 from repro.adjacency.base import AdjacencyRepresentation
 from repro.adjacency.mempool import IntPool
 from repro.errors import GraphError
@@ -244,32 +245,54 @@ class DynArrAdjacency(AdjacencyRepresentation):
         return hits.size > 0
 
     def apply_arcs(self, op, src, dst, ts=None) -> int:
-        """Arc-stream application with a vectorised all-insert fast path.
+        """Arc-stream application with vectorised fast paths.
 
-        Construction workloads ("a series of insertions", Figures 1–4) hit
-        :meth:`bulk_insert`; any stream containing deletions falls back to
-        the strict in-order loop, since delete/insert interleavings on one
-        vertex do not commute with grouping.
+        All-insert streams (construction workloads, Figures 1–4) route
+        through :meth:`bulk_insert`; mixed streams take the grouped
+        delete-matching kernel (:func:`repro.adjacency.bulkops.apply_mixed`)
+        when enabled, else the strict in-order loop.  Both fast paths keep
+        adjacency contents and :class:`UpdateStats` bit-identical to the
+        scalar path (the equivalence suite enforces this).
         """
         op = np.asarray(op, dtype=np.int8)
-        if op.size and np.all(op == 1):
+        if op.size and bool(np.all(op == 1)):
             self.bulk_insert(src, dst, ts)
             return 0
-        return super().apply_arcs(op, src, dst, ts)
+        if bulkops.enabled(self, op.size):
+            src = check_vertex_ids(src, self.n, "src")
+            dst = check_vertex_ids(dst, self.n, "dst")
+            t = (
+                np.zeros(src.size, dtype=np.int64)
+                if ts is None
+                else np.asarray(ts, dtype=np.int64)
+            )
+            return bulkops.apply_mixed(self, op, src, dst, t)
+        return self.apply_arcs_scalar(op, src, dst, ts)
 
     # ------------------------------------------------------------------ #
     # bulk ingest (vectorised per-vertex groups, counter-equivalent)
     # ------------------------------------------------------------------ #
 
+    def _account_bulk(self, uniq: np.ndarray, cnt0: np.ndarray, k_ins: np.ndarray) -> None:
+        """Hook called by the bulkops kernels after a grouped append.
+
+        ``uniq`` are the touched vertices, ``cnt0`` their occupancy before
+        the batch, ``k_ins`` the inserts each received.  Subclasses with
+        per-insert side accounting (epart's split-list counter) override
+        this; the scalar fallback path accounts inside :meth:`insert`
+        instead, so implementations must not double-count.
+        """
+
     def bulk_insert(self, src, dst, ts=None) -> None:
         """Grouped insertion with counters identical to the sequential path.
 
         Updates are stably grouped by source vertex; per vertex, the doubling
-        schedule the sequential path would follow is replayed for pool and
-        counter accounting, then all new slots are written with one slice
-        assignment.  Final adjacency content and :class:`UpdateStats` match
-        the sequential path exactly (tests enforce this); only the pool's
-        internal block layout may differ.
+        schedule the sequential path would follow is replayed analytically
+        for pool and counter accounting, then all new slots are written with
+        one gathered store.  Final adjacency content and
+        :class:`UpdateStats` match the sequential path exactly (tests
+        enforce this); only the pool's internal block layout may differ.
+        Small batches fall back to the scalar loop (argsort fixed costs).
         """
         src = check_vertex_ids(src, self.n, "src")
         dst = check_vertex_ids(dst, self.n, "dst")
@@ -279,53 +302,20 @@ class DynArrAdjacency(AdjacencyRepresentation):
             ts = np.asarray(ts, dtype=np.int64)
         if src.size == 0:
             return
-        order = np.argsort(src, kind="stable")
-        s_sorted = src[order]
-        d_sorted = dst[order]
-        t_sorted = ts[order]
-        uniq, starts = np.unique(s_sorted, return_index=True)
-        bounds = np.append(starts, s_sorted.size)
+        if bulkops.enabled(self, src.size):
+            bulkops.bulk_insert(self, src, dst, ts)
+        else:
+            self.bulk_insert_scalar(src, dst, ts)
 
-        for i, u in enumerate(uniq.tolist()):
-            lo, hi = int(bounds[i]), int(bounds[i + 1])
-            k_new = hi - lo
-            used = int(self.cnt[u])
-            if self.off[u] < 0:
-                self._alloc_block(u, int(self._cap0[u]))
-            cap = int(self.cap[u])
-            final = used + k_new
-            if final > cap:
-                if not self.resize_allowed:
-                    raise GraphError(
-                        f"Dyn-arr-nr capacity exceeded for vertex {u} "
-                        f"(cap={cap}, need {final})"
-                    )
-                # Replay the doubling schedule for exact counter/pool parity:
-                # the sequential path resizes whenever cnt reaches cap while
-                # inserts remain, copying a full block (cap words) each time.
-                old_off = int(self.off[u])
-                new_off = old_off
-                while cap < final:
-                    self.stats.resize_events += 1
-                    self.stats.resize_copied_words += cap
-                    self.pool.abandon(cap)
-                    cap = max(1, cap * self.growth_factor)
-                    new_off = self.pool.alloc(cap)
-                self._refresh_views()
-                # One physical copy of the already-present slots; the slots
-                # the sequential path would have copied repeatedly are the
-                # incoming items, written directly below.
-                self._adj[new_off : new_off + used] = self._adj[old_off : old_off + used]
-                self._ts[new_off : new_off + used] = self._ts[old_off : old_off + used]
-                self.off[u] = new_off
-                self.cap[u] = cap
-            off = int(self.off[u])
-            self._adj[off + used : off + final] = d_sorted[lo:hi]
-            self._ts[off + used : off + final] = t_sorted[lo:hi]
-            self.cnt[u] = final
-            self.live[u] += k_new
-        self._n_arcs += int(src.size)
-        self.stats.inserts += int(src.size)
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Live-arc export via one gathered read (grouped by source vertex).
+
+        Identical output to the scalar per-vertex walk: ascending source,
+        per-vertex slot order, tombstones dropped.
+        """
+        if bulkops.enabled(self, int(self.cnt.sum())):
+            return bulkops.to_arrays(self)
+        return self.to_arrays_scalar()
 
     # ------------------------------------------------------------------ #
 

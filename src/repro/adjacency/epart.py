@@ -56,15 +56,15 @@ class EPartAdjacency(DynArrAdjacency):
         if int(self.cnt[u]) > self.split_thresh:
             self.hi_arcs += 1
 
-    def bulk_insert(self, src, dst, ts=None) -> None:
-        before = self.cnt.copy()
-        super().bulk_insert(src, dst, ts)
+    def _account_bulk(self, uniq: np.ndarray, cnt0: np.ndarray, k_ins: np.ndarray) -> None:
         # Count arcs that landed past the threshold, vertex by vertex, with
         # the same semantics as the sequential path: an arc is "high" when
-        # the occupancy *after* inserting it exceeds the threshold.
-        after = self.cnt
-        hi_after = np.maximum(after - self.split_thresh, 0)
-        hi_before = np.maximum(before - self.split_thresh, 0)
+        # the occupancy *after* inserting it exceeds the threshold.  Only
+        # inserts move the occupancy, so the count depends solely on the
+        # pre-batch occupancy and the per-vertex insert totals — the scalar
+        # fallback accounts per-op inside :meth:`insert` instead.
+        hi_after = np.maximum(cnt0 + k_ins - self.split_thresh, 0)
+        hi_before = np.maximum(cnt0 - self.split_thresh, 0)
         self.hi_arcs += int((hi_after - hi_before).sum())
 
     def merged_arc_words(self) -> int:

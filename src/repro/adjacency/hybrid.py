@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.adjacency import bulkops
 from repro.adjacency.base import (
     ALU_PER_NODE,
     ALU_PER_ROTATION,
@@ -30,6 +31,7 @@ from repro.adjacency.dynarr import DynArrAdjacency
 from repro.adjacency.treap import TreapAdjacency
 from repro.errors import GraphError
 from repro.machine.profile import Phase
+from repro.util.validation import check_vertex_ids
 
 __all__ = ["HybridAdjacency", "DEFAULT_DEGREE_THRESH", "recommend_degree_thresh"]
 
@@ -218,6 +220,94 @@ class HybridAdjacency(AdjacencyRepresentation):
         if self.mode[u] == _MODE_ARRAY:
             return self.arr.has_arc(u, v)
         return self.treap.has_arc(u, v)
+
+    # ------------------------------------------------------------------ #
+    # bulk paths
+    # ------------------------------------------------------------------ #
+
+    def _array_stable_mask(self, src: np.ndarray, ins_counts: np.ndarray) -> np.ndarray:
+        """Per-arc mask: owner provably stays in array mode all batch long.
+
+        A vertex migrates only when an *insert* pushes its occupancy past
+        ``degree_thresh`` (deletes never trigger it), so an array-mode
+        vertex whose occupancy plus this batch's inserts stays within the
+        threshold can take the whole batch on the dyn-arr side — without
+        consuming any treap priorities, which keeps the shared priority
+        stream (and therefore treap structure and counters) identical to
+        the sequential interleaving.
+        """
+        mode = np.frombuffer(self.mode, dtype=np.uint8)
+        ok = (mode == _MODE_ARRAY) & (self.arr.cnt + ins_counts <= self.degree_thresh)
+        return ok[src]
+
+    def apply_arcs(self, op, src, dst, ts=None) -> int:
+        """Partitioned stream application.
+
+        Arcs on provably-stable array vertices run through the dyn-arr
+        vectorised kernels; everything else (treap-mode vertices and
+        vertices this batch pushes across the threshold) replays the strict
+        scalar loop in arrival order.  The two halves touch disjoint
+        vertices, so the split commutes with the sequential interleaving and
+        all counters stay bit-identical.  ``downshift`` re-couples deletes
+        to migrations, so it disables the fast path entirely.
+        """
+        op = np.asarray(op, dtype=np.int8)
+        if self.downshift or not bulkops.enabled(self, op.size):
+            return super().apply_arcs(op, src, dst, ts)
+        self.arr.use_bulkops = self.use_bulkops
+        src = check_vertex_ids(src, self.n, "src")
+        dst = check_vertex_ids(dst, self.n, "dst")
+        t = np.zeros(src.size, dtype=np.int64) if ts is None else np.asarray(ts, dtype=np.int64)
+        ins_counts = np.bincount(src[op == 1], minlength=self.n)
+        fast = self._array_stable_mask(src, ins_counts)
+        idx_f = np.flatnonzero(fast)
+        if idx_f.size == 0:
+            return self.apply_arcs_scalar(op, src, dst, t)
+        before = self.arr.n_arcs
+        misses = self.arr.apply_arcs(op[idx_f], src[idx_f], dst[idx_f], t[idx_f])
+        self._n_arcs += self.arr.n_arcs - before
+        if idx_f.size != op.size:
+            idx_s = np.flatnonzero(~fast)
+            misses += self.apply_arcs_scalar(op[idx_s], src[idx_s], dst[idx_s], t[idx_s])
+        return misses
+
+    def bulk_insert(self, src, dst, ts=None) -> None:
+        """Partitioned bulk ingest (same stability argument as apply_arcs)."""
+        src = check_vertex_ids(src, self.n, "src")
+        dst = check_vertex_ids(dst, self.n, "dst")
+        t = np.zeros(src.size, dtype=np.int64) if ts is None else np.asarray(ts, dtype=np.int64)
+        if src.size == 0:
+            return
+        if not bulkops.enabled(self, src.size):
+            self.bulk_insert_scalar(src, dst, t)
+            return
+        self.arr.use_bulkops = self.use_bulkops
+        fast = self._array_stable_mask(src, np.bincount(src, minlength=self.n))
+        idx_f = np.flatnonzero(fast)
+        if idx_f.size:
+            self.arr.bulk_insert(src[idx_f], dst[idx_f], t[idx_f])
+            self._n_arcs += int(idx_f.size)
+        if idx_f.size != src.size:
+            idx_s = np.flatnonzero(~fast)
+            self.bulk_insert_scalar(src[idx_s], dst[idx_s], t[idx_s])
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Merged live-arc export: each vertex lives on exactly one side,
+        so a stable merge by source reproduces the scalar per-vertex walk."""
+        self.arr.use_bulkops = self.use_bulkops
+        s1, d1, t1 = self.arr.to_arrays()
+        s2, d2, t2 = self.treap.to_arrays()
+        if not s2.size:
+            return s1, d1, t1
+        if not s1.size:
+            return s2, d2, t2
+        s = np.concatenate([s1, s2])
+        order = np.argsort(s, kind="stable")
+        return (
+            s[order],
+            np.concatenate([d1, d2])[order],
+            np.concatenate([t1, t2])[order],
+        )
 
     # ------------------------------------------------------------------ #
     # accounting

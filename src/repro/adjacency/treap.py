@@ -33,6 +33,7 @@ import numpy as np
 from repro.adjacency.base import AdjacencyRepresentation, HotStats
 from repro.adjacency.base import LOCK_HOLD_PER_NODE
 from repro.util.seeding import make_rng
+from repro.util.validation import check_vertex_ids
 
 __all__ = ["TreapAdjacency"]
 
@@ -224,6 +225,53 @@ class TreapAdjacency(AdjacencyRepresentation):
         self.check_vertex(v)
         self.stats.searches += 1
         return self._find(self.root[u], v) != _NIL
+
+    # ------------------------------------------------------------------ #
+    # bulk paths
+    # ------------------------------------------------------------------ #
+
+    def bulk_insert(self, src, dst, ts=None) -> None:
+        """Batch ingest: upfront validation, then a tight descent loop.
+
+        Treap structure depends on the order nodes consume the shared
+        pre-drawn priority stream, so arcs cannot be regrouped — rotations
+        and node-visit counters would diverge from the sequential path.
+        This override only hoists the per-arc validation and attribute
+        lookups out of the loop; structure and counters stay bit-identical.
+        """
+        src = check_vertex_ids(src, self.n, "src")
+        dst = check_vertex_ids(dst, self.n, "dst")
+        t = np.zeros(src.size, dtype=np.int64) if ts is None else np.asarray(ts, dtype=np.int64)
+        root = self.root
+        deg = self._live_deg
+        new_node = self._new_node
+        insert_node = self._insert_node
+        for u, v, lbl in zip(src.tolist(), dst.tolist(), t.tolist()):
+            root[u] = insert_node(root[u], new_node(v, lbl))
+            deg[u] += 1
+        self._n_arcs += int(src.size)
+        self.stats.inserts += int(src.size)
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Live-arc export with one buffer for all in-order walks.
+
+        Emits exactly what the scalar per-vertex export does (ascending
+        source, in-order targets) without materialising per-vertex numpy
+        arrays: ``_live_deg`` already holds every walk's length.
+        """
+        keys: list[int] = []
+        tss: list[int] = []
+        for t_root in self.root:
+            if t_root != _NIL:
+                self._inorder(t_root, keys, tss)
+        src = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.asarray(self._live_deg, dtype=np.int64)
+        )
+        return (
+            src,
+            np.asarray(keys, dtype=np.int64),
+            np.asarray(tss, dtype=np.int64),
+        )
 
     # ------------------------------------------------------------------ #
     # set operations (paper: union / intersection / difference on treaps)

@@ -7,9 +7,12 @@ stream* and applies only the updates it owns — replicated scan work that
 grows with the thread count and caps scalability ("this approach might work
 well for a small number of threads").
 
-Storage is identical to :class:`~repro.adjacency.dynarr.DynArrAdjacency`;
-what changes is the parallel cost profile: no synchronisation, but a
-per-thread replicated stream scan.
+Storage is identical to :class:`~repro.adjacency.dynarr.DynArrAdjacency` —
+including the vectorised bulk kernels (grouped ``apply_arcs`` /
+``bulk_insert`` / gathered ``to_arrays`` from
+:mod:`repro.adjacency.bulkops`), which are inherited unchanged; what changes
+is the parallel cost profile: no synchronisation, but a per-thread
+replicated stream scan.
 """
 
 from __future__ import annotations

@@ -83,7 +83,7 @@ class DynamicGraph:
         self.n = int(n)
         self.directed = bool(directed)
         self._snapshot: CSRGraph | None = None
-        self._snapshot_arcs = -1
+        self._snapshot_key = -1
 
     # ------------------------------------------------------------------ #
     # construction
@@ -193,16 +193,18 @@ class DynamicGraph:
     # ------------------------------------------------------------------ #
 
     def snapshot(self, *, refresh: bool = False) -> CSRGraph:
-        """CSR snapshot of the live arcs (cached until the arc count moves).
+        """CSR snapshot of the live arcs (cached until the structure mutates).
 
-        The cache key is the live arc count — sufficient for the library's
-        workloads (streams strictly grow or shrink); pass ``refresh=True``
-        after updates that exactly cancel.
+        The cache key is the representation's monotonic mutation counter, so
+        any structural change — including a balanced insert+delete mix that
+        leaves the live arc count unchanged — invalidates the cache.
+        ``refresh=True`` still forces a rebuild unconditionally.
         """
-        if refresh or self._snapshot is None or self._snapshot_arcs != self.rep.n_arcs:
+        key = self.rep.mutation_count
+        if refresh or self._snapshot is None or self._snapshot_key != key:
             with span("api.snapshot", n=self.n, arcs=self.rep.n_arcs):
                 self._snapshot = csr_from_representation(self.rep)
-            self._snapshot_arcs = self.rep.n_arcs
+            self._snapshot_key = self.rep.mutation_count
             METRICS.inc("api.snapshot_rebuilds")
         else:
             METRICS.inc("api.snapshot_cache_hits")

@@ -45,8 +45,14 @@ def run(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResult:
     n0, m0 = graph.n, graph.m
 
     series = []
+    host = {}
     for label, rep in make_reps(n0, 2 * m0, seed):
         res = construct(rep, graph)
+        host[label] = {
+            "host_seconds": res.host_seconds,
+            "host_mups": res.profile.meta.get("host_mups", 0.0),
+            "vectorised": res.meta.get("vectorised", False),
+        }
         bpv, bpe = footprint_coefficients(rep, n0, 2 * m0)
         inst = ScaledInstance(
             n_measured=n0, m_measured=m0,
@@ -67,7 +73,7 @@ def run(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResult:
         title="Construction MUPS: Dyn-arr vs Treaps vs Hybrid, UltraSPARC T2",
         series=series,
         notes=f"measured at n=2^{mscale}; target 33.5M / 268M",
-        meta={"measured_scale": mscale},
+        meta={"measured_scale": mscale, "host": host},
     )
     da = fig.get("Dyn-arr")
     tr = fig.get("Treaps")

@@ -53,6 +53,7 @@ def run(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResult:
     probe_growth = rmat_size_biased_growth(mscale, TARGET_SCALE)
 
     series = []
+    host = {}
     for label, rep in make_reps(n0, 2 * m0, seed):
         construct(rep, graph)
         res = apply_stream(
@@ -61,6 +62,11 @@ def run(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResult:
             phase_name="deletions",
             probe_scale=probe_growth if label == "Dyn-arr" else 1.0,
         )
+        host[label] = {
+            "host_seconds": res.host_seconds,
+            "host_mups": res.profile.meta.get("host_mups", 0.0),
+            "vectorised": res.meta.get("vectorised", False),
+        }
         bpv, bpe = footprint_coefficients(rep, n0, 2 * m0)
         inst = ScaledInstance(
             n_measured=n0, m_measured=m0,
@@ -84,7 +90,7 @@ def run(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResult:
             f"measured at n=2^{mscale} with {k_del} deletions "
             f"(paper ratio: 20M of 268M edges)"
         ),
-        meta={"measured_scale": mscale, "k_del": k_del},
+        meta={"measured_scale": mscale, "k_del": k_del, "host": host},
     )
     da = fig.get("Dyn-arr")
     tr = fig.get("Treaps")

@@ -83,6 +83,21 @@ class TestSnapshotsAndKernels:
         a = g.snapshot()
         assert g.snapshot(refresh=True) is not a
 
+    def test_snapshot_not_stale_after_balanced_mix(self):
+        # Regression: the cache used to key on the live arc count, so an
+        # insert+delete mix that left the count unchanged returned a stale
+        # snapshot.  The mutation-counter key must rebuild it.
+        g = DynamicGraph(4, "dynarr", directed=True)
+        g.insert_edge(0, 1)
+        a = g.snapshot()
+        assert a.neighbors(0).tolist() == [1]
+        g.insert_edge(0, 2)
+        g.delete_edge(0, 1)
+        assert g.rep.n_arcs == a.n_arcs  # balanced: count unchanged
+        b = g.snapshot()
+        assert b is not a
+        assert b.neighbors(0).tolist() == [2]
+
     def test_bfs(self, graph):
         g = DynamicGraph.from_edgelist(graph)
         res = g.bfs(0)
