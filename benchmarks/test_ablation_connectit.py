@@ -1,0 +1,25 @@
+"""Benchmark: the ConnectIt variant-matrix ablation.
+
+Times the full A7 grid (union × compaction variants plus the sampled
+compositions vs Shiloach–Vishkin) at quick scale and records the headline
+union-reduction factors in ``extra_info``.
+"""
+
+from benchmarks.conftest import assert_figure
+from repro.experiments import ablations
+
+
+def test_ablation_connectit_matrix(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_connectit_matrix(quick=True),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert_figure(result)
+    baseline = next(r for r in result.rows if r["variant"].startswith("shiloach"))
+    for row in result.rows:
+        if row["grid"] == "sampled" and "sv_unions/unions" in row:
+            benchmark.extra_info[row["variant"]] = {
+                "unions": int(row["unions"]),
+                "reduction_vs_sv": round(float(row["sv_unions/unions"]), 1),
+            }
+    benchmark.extra_info["sv_union_attempts"] = int(baseline["unions"])

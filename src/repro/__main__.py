@@ -168,6 +168,13 @@ def _trace_workload(args: argparse.Namespace, backend) -> None:
         sim.sweep(queries.profile, n_items=queries.n_queries)
     if args.workload in ("quickstart", "components"):
         g.connected_components(backend=backend)
+    if args.workload in ("quickstart", "connectit"):
+        from repro.connectit import ConnectItSpec, connect_components
+
+        res = connect_components(
+            g.snapshot(), ConnectItSpec(sampling="kout"), backend=backend
+        )
+        sim.sweep(res.profile(), n_items=max(res.counters.unions, 1))
     if args.workload in ("quickstart", "bfs"):
         res = g.bfs(0, ts_range=(20, 70), backend=backend)
         profile = bfs_profile(g.snapshot(), res)
@@ -332,7 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("workload", nargs="?", default="quickstart",
                    choices=["quickstart", "updates", "bfs", "connectivity",
-                            "components", "fig08", "fig10"])
+                            "components", "connectit", "fig08", "fig10"])
     p.add_argument("--scale", type=int, default=None,
                    help="n = 2^scale (default: 11, or 12 for fig08/fig10)")
     p.add_argument("--edge-factor", type=int, default=8)

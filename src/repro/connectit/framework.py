@@ -1,0 +1,388 @@
+"""The sample-finish connectivity framework (ConnectIt composition).
+
+A connectivity *variant* is a :class:`ConnectItSpec`: one union rule, one
+compaction rule (both from :mod:`repro.connectit.unionfind`), and one
+sampling strategy (:mod:`repro.connectit.sampling`).  The driver
+:func:`connect_components` runs the composition in two phases —
+
+1. **sample**: cheaply resolve most of the graph (usually the giant
+   component) with the chosen strategy;
+2. **finish**: take every arc whose endpoints the sample left in
+   *different* trees and union them exactly.
+
+Because the finish phase skips all arcs the sample already resolved, a good
+sample turns the finish into near-no-op work — the order-of-magnitude union
+reduction ConnectIt reports, here measured directly by
+:class:`~repro.connectit.unionfind.WorkCounters` and exported as a
+:class:`~repro.machine.profile.WorkProfile`.
+
+The labels are canonical (minimum vertex id per component, the convention
+of :func:`repro.core.components.connected_components`), so every variant —
+and both execution backends — produces bit-identical output for the same
+graph.  ``backend="process"`` partitions the finish arcs over
+:class:`~repro.parallel.pool.WorkerPool` workers via a shared-memory arena;
+each worker unions its range into a private structure and ships back only
+its local spanning-forest edges, which the parent replays in deterministic
+chunk order.  The union of per-chunk spanning forests has the same
+connectivity closure as the full arc set, so the merged partition (and the
+canonical labels) match the serial run exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adjacency.csr import CSRGraph
+from repro.errors import GraphError
+from repro.machine.profile import Phase, WorkProfile
+from repro.obs import METRICS, manifest_meta, span
+from repro.parallel.partition import range_chunks
+from repro.parallel.pool import TaskSpec, WorkerPool, task
+from repro.parallel.shm import ShmArena
+
+from repro.connectit.sampling import SAMPLING_RULES, SampleStats, run_sampling
+from repro.connectit.unionfind import (
+    COMPACTION_RULES,
+    UNION_RULES,
+    UnionFind,
+    WorkCounters,
+)
+
+__all__ = ["ConnectItSpec", "ConnectItResult", "connect_components", "variant_matrix"]
+
+#: ALU ops charged per union attempt (root compare, rule compare, branches).
+_ALU_PER_UNION = 6.0
+#: ALU ops charged per explicit find call (dispatch + loop setup).
+_ALU_PER_FIND = 2.0
+#: ALU ops charged per pointer chase (index arithmetic + termination test).
+_ALU_PER_CHASE = 2.0
+#: Bytes of sequential arc traffic per arc examined (two int64 endpoints).
+_ARC_BYTES = 16.0
+
+
+@dataclass(frozen=True)
+class ConnectItSpec:
+    """One point in the ConnectIt design space.
+
+    ``union_rule`` × ``compaction`` select the union-find variant;
+    ``sampling`` selects the sample phase (``"none"`` disables it);
+    ``k`` parameterises ``"kout"`` sampling.
+    """
+
+    union_rule: str = "rank"
+    compaction: str = "halving"
+    sampling: str = "none"
+    k: int = 2
+
+    def __post_init__(self) -> None:
+        if self.union_rule not in UNION_RULES:
+            raise GraphError(
+                f"unknown union rule {self.union_rule!r}; available: {UNION_RULES}"
+            )
+        if self.compaction not in COMPACTION_RULES:
+            raise GraphError(
+                f"unknown compaction rule {self.compaction!r}; available: {COMPACTION_RULES}"
+            )
+        if self.sampling not in SAMPLING_RULES:
+            raise GraphError(
+                f"unknown sampling strategy {self.sampling!r}; available: {SAMPLING_RULES}"
+            )
+        if self.sampling == "kout" and self.k < 1:
+            raise GraphError(f"k-out sampling needs k >= 1, got {self.k}")
+
+    @property
+    def name(self) -> str:
+        """Compact variant name, e.g. ``kout2+rank/halving``."""
+        base = f"{self.union_rule}/{self.compaction}"
+        if self.sampling == "kout":
+            return f"kout{self.k}+{base}"
+        if self.sampling == "bfs":
+            return f"bfs+{base}"
+        return base
+
+    def to_dict(self) -> dict:
+        """JSON-safe spec record (stamped into profiles and reports)."""
+        return {
+            "union_rule": self.union_rule,
+            "compaction": self.compaction,
+            "sampling": self.sampling,
+            "k": int(self.k),
+            "name": self.name,
+        }
+
+
+def variant_matrix(
+    *,
+    union_rules: tuple[str, ...] = UNION_RULES,
+    compactions: tuple[str, ...] = COMPACTION_RULES,
+    samplings: tuple[str, ...] = ("none",),
+    k: int = 2,
+) -> tuple[ConnectItSpec, ...]:
+    """The cross-product of the requested rule axes, as specs."""
+    return tuple(
+        ConnectItSpec(union_rule=u, compaction=c, sampling=s, k=k)
+        for s, u, c in itertools.product(samplings, union_rules, compactions)
+    )
+
+
+@dataclass(frozen=True)
+class ConnectItResult:
+    """Labels plus the measured work of one sample-finish run.
+
+    ``labels`` is canonical (min vertex id per component).  ``counters``
+    is the whole run; ``sample_counters`` / ``finish_counters`` split it
+    at the phase boundary.  ``sample`` records what the sampling strategy
+    did (giant-component root and coverage).
+    """
+
+    labels: np.ndarray
+    spec: ConnectItSpec
+    counters: WorkCounters
+    sample_counters: WorkCounters
+    finish_counters: WorkCounters
+    sample: SampleStats
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_components(self) -> int:
+        """Number of connected components."""
+        if self.labels.size == 0:
+            return 0
+        return int(np.unique(self.labels).size)
+
+    def profile(self, name: str | None = None) -> WorkProfile:
+        """The run's measured work as a machine-model :class:`WorkProfile`.
+
+        One phase per executed stage (``sample`` is omitted when the spec
+        disables it), with the counter-to-cost translation documented on
+        the module constants; the raw counters ride along in ``meta``.
+        """
+        phases = []
+        footprint = float(self.meta.get("footprint_bytes", 0))
+        for phase_name, c, arcs in (
+            ("sample", self.sample_counters, self.meta.get("sample_arcs", 0)),
+            ("finish", self.finish_counters, self.meta.get("finish_arcs", 0)),
+        ):
+            if phase_name == "sample" and self.spec.sampling == "none":
+                continue
+            phases.append(
+                Phase(
+                    name=phase_name,
+                    alu_ops=(
+                        _ALU_PER_UNION * c.unions
+                        + _ALU_PER_FIND * c.finds
+                        + _ALU_PER_CHASE * c.pointer_chases
+                    ),
+                    rand_accesses=float(c.pointer_chases + c.hooks + c.compaction_writes),
+                    seq_bytes=_ARC_BYTES * float(arcs),
+                    atomics=float(c.atomics),
+                    footprint_bytes=footprint,
+                )
+            )
+        return WorkProfile(
+            name or f"connectit-{self.spec.name}",
+            tuple(phases),
+            meta={
+                "spec": self.spec.to_dict(),
+                "counters": self.counters.to_dict(),
+                "sample_counters": self.sample_counters.to_dict(),
+                "finish_counters": self.finish_counters.to_dict(),
+                "sample": self.sample.to_dict(),
+                "n_components": self.n_components,
+                **{k: v for k, v in self.meta.items() if k != "fragments"},
+                **manifest_meta(),
+            },
+        )
+
+
+def _finish_arcs(graph: CSRGraph, uf: UnionFind) -> tuple[np.ndarray, np.ndarray]:
+    """Arcs the sample left unresolved, with endpoints mapped to their roots.
+
+    Dropping already-resolved arcs (including all self-loops and every arc
+    internal to the sampled giant component) is what makes the finish phase
+    cheap; mapping the survivors' endpoints to their current roots keeps
+    the finish unions short without changing which trees they merge.
+    """
+    n = graph.n
+    asrc = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.offsets))
+    adst = graph.targets
+    roots = uf.flat_roots()
+    mask = roots[asrc] != roots[adst]
+    return np.ascontiguousarray(roots[asrc[mask]]), np.ascontiguousarray(roots[adst[mask]])
+
+
+def _serial_connect(graph: CSRGraph, spec: ConnectItSpec) -> ConnectItResult:
+    """Serial sample-finish driver."""
+    n = graph.n
+    uf = UnionFind(n, union_rule=spec.union_rule, compaction=spec.compaction)
+    with span("connectit.components", variant=spec.name, n=n, arcs=graph.n_arcs) as sp:
+        with span("connectit.sample", strategy=spec.sampling):
+            stats = run_sampling(graph, uf, spec.sampling, k=spec.k)
+        sample_counters = uf.counters.snapshot()
+        fsrc, fdst = _finish_arcs(graph, uf)
+        with span("connectit.finish", arcs=int(fsrc.size)):
+            uf.union_arcs(fsrc, fdst)
+        finish_counters = uf.counters.since(sample_counters)
+        labels = uf.components()
+        sp.set(
+            components=int(np.unique(labels).size) if n else 0,
+            unions=uf.counters.unions,
+            finish_arcs=int(fsrc.size),
+        )
+    METRICS.inc("connectit.runs")
+    METRICS.inc("connectit.unions", uf.counters.unions)
+    return ConnectItResult(
+        labels=labels,
+        spec=spec,
+        counters=uf.counters,
+        sample_counters=sample_counters,
+        finish_counters=finish_counters,
+        sample=stats,
+        meta={
+            "backend": "serial",
+            "workers": 1,
+            "n": n,
+            "arcs": graph.n_arcs,
+            "sample_arcs": int(stats.attempts),
+            "finish_arcs": int(fsrc.size),
+            "footprint_bytes": uf.memory_bytes() + int(_ARC_BYTES) * graph.n_arcs,
+        },
+    )
+
+
+@task("connectit.finish")
+def _connectit_finish(views: dict, payload: dict) -> dict:
+    """One finish-arc range, unioned into a private structure (worker side).
+
+    Returns the range's local spanning-forest edges (the arcs whose union
+    succeeded) — a connectivity-equivalent compression of the range — plus
+    the worker's counters for the parent to fold in.
+    """
+    lo, hi = payload["lo"], payload["hi"]
+    uf = UnionFind(
+        payload["n"], union_rule=payload["union_rule"], compaction=payload["compaction"]
+    )
+    src = views["src"][lo:hi]
+    dst = views["dst"][lo:hi]
+    hook_u = []
+    hook_v = []
+    for u, v in zip(src.tolist(), dst.tolist()):
+        if uf.union(u, v):
+            hook_u.append(u)
+            hook_v.append(v)
+    return {
+        "hook_u": np.asarray(hook_u, dtype=np.int64),
+        "hook_v": np.asarray(hook_v, dtype=np.int64),
+        "counters": uf.counters.to_dict(),
+        "fragment": {"arcs": int(hi - lo), "forest_edges": len(hook_u)},
+    }
+
+
+def _process_connect(graph: CSRGraph, spec: ConnectItSpec, pool: WorkerPool) -> ConnectItResult:
+    """Process-backend driver: sample in the parent, finish on the pool.
+
+    Workers union disjoint arc ranges into private structures and return
+    their local spanning forests; the parent replays those (few) edges in
+    chunk order.  The replayed edge set has the same connectivity closure
+    as the full finish set, so the partition — and the canonical labels —
+    are bit-identical to the serial driver at every worker count.
+    """
+    n = graph.n
+    uf = UnionFind(n, union_rule=spec.union_rule, compaction=spec.compaction)
+    pool.start()
+    with span(
+        "connectit.components", variant=spec.name, n=n, arcs=graph.n_arcs, workers=pool.workers
+    ) as sp:
+        with span("connectit.sample", strategy=spec.sampling):
+            stats = run_sampling(graph, uf, spec.sampling, k=spec.k)
+        sample_counters = uf.counters.snapshot()
+        fsrc, fdst = _finish_arcs(graph, uf)
+        worker_counters = WorkCounters()
+        fragments: list[dict] = []
+        if fsrc.size:
+            chunks = range_chunks(int(fsrc.size), pool.workers)
+            with span("connectit.finish", arcs=int(fsrc.size)):
+                with ShmArena.create({"src": fsrc, "dst": fdst}) as arena:
+                    outs = pool.run_tasks(
+                        [
+                            TaskSpec(
+                                "connectit.finish",
+                                {
+                                    "lo": lo,
+                                    "hi": hi,
+                                    "n": n,
+                                    "union_rule": spec.union_rule,
+                                    "compaction": spec.compaction,
+                                },
+                                arenas=(arena.descriptor,),
+                            )
+                            for lo, hi in chunks
+                        ]
+                    )
+                for out in outs:  # deterministic chunk order
+                    uf.union_arcs(out["hook_u"], out["hook_v"])
+                    worker_counters.add(WorkCounters.from_dict(out["counters"]))
+                    fragments.append(out["fragment"])
+        finish_counters = uf.counters.since(sample_counters)
+        finish_counters.add(worker_counters)
+        labels = uf.components()
+        sp.set(
+            components=int(np.unique(labels).size) if n else 0,
+            finish_arcs=int(fsrc.size),
+            forest_edges=sum(f["forest_edges"] for f in fragments),
+        )
+    counters = sample_counters.snapshot()
+    counters.add(finish_counters)
+    METRICS.inc("connectit.runs")
+    METRICS.inc("connectit.unions", counters.unions)
+    return ConnectItResult(
+        labels=labels,
+        spec=spec,
+        counters=counters,
+        sample_counters=sample_counters,
+        finish_counters=finish_counters,
+        sample=stats,
+        meta={
+            "backend": "process",
+            "workers": pool.workers,
+            "n": n,
+            "arcs": graph.n_arcs,
+            "sample_arcs": int(stats.attempts),
+            "finish_arcs": int(fsrc.size),
+            "footprint_bytes": uf.memory_bytes() + int(_ARC_BYTES) * graph.n_arcs,
+            "fragments": fragments,
+        },
+    )
+
+
+def connect_components(
+    graph: CSRGraph,
+    spec: ConnectItSpec | None = None,
+    *,
+    backend: str | object = "serial",
+    workers: int | None = None,
+    **spec_kwargs,
+) -> ConnectItResult:
+    """Connected components via one sample-finish composition.
+
+    ``spec`` selects the variant (or pass the spec fields directly as
+    keyword arguments, e.g. ``sampling="kout", union_rule="rem"``).
+    ``backend`` follows the repo-wide convention: a string creates and
+    closes a one-shot backend; an :class:`~repro.parallel.backend
+    .ExecutionBackend` instance is reused and left open.
+    """
+    from repro.parallel.backend import resolve_backend
+
+    if spec is None:
+        spec = ConnectItSpec(**spec_kwargs)
+    elif spec_kwargs:
+        raise GraphError("pass either a ConnectItSpec or spec keyword arguments, not both")
+    be, owned = resolve_backend(backend, workers=workers)
+    try:
+        return be.connectit_components(graph, spec)
+    finally:
+        if owned:
+            be.close()

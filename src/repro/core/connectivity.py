@@ -23,7 +23,7 @@ from repro.machine.profile import Phase, WorkProfile
 from repro.obs import METRICS, manifest_meta, span
 from repro.util.seeding import make_rng
 
-__all__ = ["ConnectivityIndex", "QueryResult"]
+__all__ = ["ConnectivityIndex", "QueryResult", "BatchInsertResult"]
 
 #: ALU ops per pointer hop (load, NIL test, loop branch).
 _ALU_PER_HOP = 4.0
@@ -44,6 +44,23 @@ class QueryResult:
     @property
     def hops_per_query(self) -> float:
         return self.total_hops / self.n_queries if self.n_queries else 0.0
+
+
+@dataclass(frozen=True)
+class BatchInsertResult:
+    """Outcome and measured work of one batched edge insertion.
+
+    ``linked[i]`` is True when edge i became a spanning-tree link (it
+    connected two previously separate components); the rest were redundant
+    for connectivity and were never pushed into the forest.
+    """
+
+    linked: np.ndarray
+    n_links: int
+    n_skipped: int
+    total_hops: int
+    profile: WorkProfile
+    meta: dict = field(default_factory=dict)
 
 
 class ConnectivityIndex:
@@ -169,6 +186,88 @@ class ConnectivityIndex:
     def insert_edge(self, u: int, v: int) -> bool:
         """Inform the index of a new graph edge; True if the forest changed."""
         return self.forest.add_edge(u, v)
+
+    def insert_batch(
+        self,
+        us,
+        vs,
+        *,
+        union_rule: str = "rank",
+        compaction: str = "halving",
+        name: str = "connectivity-insert-batch",
+    ) -> BatchInsertResult:
+        """Apply many edge insertions with a union-find fast path.
+
+        Looping :meth:`insert_edge` pays two findroots per edge even when
+        the edge is redundant for connectivity.  This path resolves all
+        endpoints once with :meth:`~repro.core.linkcut.LinkCutForest
+        .findroot_batch`, then replays the batch through a
+        :class:`repro.connectit.unionfind.UnionFind` over those roots —
+        a union succeeds exactly when the edge joins two components that
+        are still separate *at its position in the batch*, which is
+        precisely when sequential :meth:`insert_edge` would have linked
+        the forest.  Only those edges touch the forest; the resulting
+        spanning forest and connectivity are identical to the sequential
+        loop, at a fraction of the pointer chases on dense batches.
+
+        ``union_rule`` / ``compaction`` pick the union-find variant
+        (:mod:`repro.connectit`); the measured forest hops and union-find
+        counters land in the returned profile.
+        """
+        from repro.connectit.unionfind import UnionFind
+
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape or us.ndim != 1:
+            raise GraphError("insert endpoint arrays must be 1-D and equal length")
+        forest = self.forest
+        hops_before = forest.hops
+        with span(
+            "connectivity.insert_batch", n_edges=int(us.size), variant=f"{union_rule}/{compaction}"
+        ) as sp:
+            roots_u = forest.findroot_batch(us)
+            roots_v = forest.findroot_batch(vs)
+            uf = UnionFind(forest.n, union_rule=union_rule, compaction=compaction)
+            linked = np.zeros(us.size, dtype=bool)
+            for i, (ru, rv) in enumerate(zip(roots_u.tolist(), roots_v.tolist())):
+                if ru == rv:
+                    uf.counters.unions += 1  # examined; redundant before the batch
+                elif uf.union(ru, rv):
+                    forest.add_edge(int(us[i]), int(vs[i]))
+                    linked[i] = True
+            sp.set(links=int(linked.sum()), trees=forest.n_trees())
+        hops = int(forest.hops - hops_before)
+        n_links = int(linked.sum())
+        METRICS.inc("connectivity.batch_inserts", int(us.size))
+        METRICS.inc("connectivity.batch_links", n_links)
+        c = uf.counters
+        phase = Phase(
+            name="insert-batch",
+            alu_ops=_ALU_PER_HOP * hops + _ALU_PER_QUERY * us.size + 2.0 * c.pointer_chases,
+            rand_accesses=float(hops + c.pointer_chases + c.atomics),
+            atomics=float(n_links),
+            footprint_bytes=float(self.forest.memory_bytes() + uf.memory_bytes()),
+        )
+        profile = WorkProfile(
+            name,
+            (phase,),
+            meta={
+                "n_edges": int(us.size),
+                "n_links": n_links,
+                "hops": hops,
+                "union_rule": union_rule,
+                "compaction": compaction,
+                "counters": c.to_dict(),
+                **manifest_meta(),
+            },
+        )
+        return BatchInsertResult(
+            linked=linked,
+            n_links=n_links,
+            n_skipped=int(us.size) - n_links,
+            total_hops=hops,
+            profile=profile,
+        )
 
     def delete_edge(self, u: int, v: int, rep) -> bool:
         """Inform the index a graph edge was removed.

@@ -22,6 +22,7 @@ import sys
 from pathlib import Path
 
 from repro.experiments import FIGURE_MODULES, FigureResult, get_figure
+from repro.experiments.report import ABLATIONS, ablation_runners, figure_index_table
 from repro.obs import ensure_manifest
 from repro.util.jsonify import jsonify
 
@@ -73,7 +74,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--ablations",
         action="store_true",
-        help="also run the four ablation sweeps",
+        help=(
+            f"also run the {len(ABLATIONS)} ablation sweeps "
+            f"({', '.join(ABLATIONS)})"
+        ),
     )
     parser.add_argument(
         "--json",
@@ -81,7 +85,16 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write a machine-readable report of every result",
     )
+    parser.add_argument(
+        "--figure-index",
+        action="store_true",
+        help="print the generated fig01-fig11 index table (EXPERIMENTS.md block) and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.figure_index:
+        print(figure_index_table())
+        return 0
 
     failed = 0
     report: list[dict] = []
@@ -95,16 +108,7 @@ def main(argv: list[str] | None = None) -> int:
             failed += 1
 
     if args.ablations:
-        from repro.experiments import ablations
-
-        for fn in (
-            ablations.run_resize_policy,
-            ablations.run_degree_thresh,
-            ablations.run_stream_order,
-            ablations.run_mix_ratio,
-            ablations.run_compression,
-            ablations.run_delta_sweep,
-        ):
+        for _key, fn in ablation_runners():
             result = fn(quick=not args.full)
             print(result.render())
             print()

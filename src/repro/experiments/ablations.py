@@ -14,6 +14,10 @@ mapping):
   Hybrid-arr-treap would be better than Dyn-arr").
 * :func:`run_compression` — the section 2.1.6 open question: do WebGraph-
   style compression and vertex reordering carry over to these networks?
+* :func:`run_connectit_matrix` — the ConnectIt design space
+  (:mod:`repro.connectit`): union × compaction variants, and sampled
+  sample-finish compositions against the unsampled Shiloach–Vishkin
+  baseline.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ __all__ = [
     "run_mix_ratio",
     "run_compression",
     "run_delta_sweep",
+    "run_connectit_matrix",
 ]
 
 _T2 = SimulatedMachine(ULTRASPARC_T2)
@@ -328,6 +333,129 @@ def run_delta_sweep(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResu
         "the simulated sweet spot sits away from both extremes",
         best["delta"] in (4, 16, 64),
         f"best delta = {best['delta']} ({best['sim_ms@64']:.2f} ms)",
+    )
+    return fig
+
+
+def run_connectit_matrix(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResult:
+    """The ConnectIt variant grid: union × compaction × sampling on R-MAT.
+
+    Two sub-grids share one table.  The *unsampled* grid (every union rule
+    crossed with every compaction rule, moderate scale) characterises the
+    pointer-chase economics of the union-find variants themselves.  The
+    *sampled* grid (k-out and BFS sampling over two finish variants, the
+    paper-regime scale) measures how much union work the sample-finish
+    composition removes relative to the unsampled Shiloach–Vishkin kernel —
+    ConnectIt's headline claim, asserted here as a >= 3x reduction.
+    """
+    from repro.adjacency.csr import build_csr
+    from repro.connectit import ConnectItSpec, connect_components, variant_matrix
+    from repro.core.components import connected_components
+
+    rows = []
+
+    # Sub-grid 1: every union x compaction variant, unsampled.
+    vscale = measured_scale(13, 10, quick)
+    vgraph = rmat_graph(vscale, 8, seed=seed)
+    vcsr = build_csr(vgraph)
+    for spec in variant_matrix():
+        res = connect_components(vcsr, spec)
+        c = res.counters
+        rows.append(
+            {
+                "grid": "variants",
+                "variant": spec.name,
+                "scale": vscale,
+                "unions": c.unions,
+                "chases": c.pointer_chases,
+                "chases/union": c.pointer_chases / max(1, c.unions),
+                "atomics": c.atomics,
+                "sim_ms@64": _T2.time(res.profile(), _FULL) * 1e3,
+            }
+        )
+
+    # Sub-grid 2: sampled compositions vs the Shiloach-Vishkin baseline.
+    sscale = measured_scale(16, 12, quick)
+    sgraph = rmat_graph(sscale, 10, seed=seed)
+    scsr = build_csr(sgraph)
+    sv = connected_components(scsr)
+    rows.append(
+        {
+            "grid": "sampled",
+            "variant": "shiloach-vishkin (baseline)",
+            "scale": sscale,
+            "unions": sv.arcs_processed,
+            "giant_frac": float(np.max(sv.sizes()) / scsr.n),
+            "sim_ms@64": _T2.time(sv.profile(scsr), _FULL) * 1e3,
+        }
+    )
+    sampled_unions = {}
+    for spec in (
+        ConnectItSpec(sampling="kout", union_rule="rank", compaction="halving"),
+        ConnectItSpec(sampling="kout", union_rule="rem", compaction="splitting"),
+        ConnectItSpec(sampling="bfs", union_rule="rank", compaction="halving"),
+        ConnectItSpec(sampling="bfs", union_rule="size", compaction="full"),
+    ):
+        res = connect_components(scsr, spec)
+        assert np.array_equal(res.labels, sv.labels)
+        c = res.counters
+        sampled_unions[spec.name] = c.unions
+        rows.append(
+            {
+                "grid": "sampled",
+                "variant": spec.name,
+                "scale": sscale,
+                "unions": c.unions,
+                "sv_unions/unions": sv.arcs_processed / max(1, c.unions),
+                "finish_arcs": res.meta["finish_arcs"],
+                "giant_frac": res.sample.giant_fraction,
+                "sim_ms@64": _T2.time(res.profile(), _FULL) * 1e3,
+            }
+        )
+
+    fig = FigureResult(
+        figure="Ablation A7",
+        title="ConnectIt variant matrix: union x compaction x sampling",
+        rows=rows,
+        notes=(
+            f"unsampled grid at n=2^{vscale}; sampled compositions vs "
+            f"Shiloach-Vishkin at n=2^{sscale} (SV 'unions' = arc hook attempts)"
+        ),
+    )
+    by_variant = {r["variant"]: r for r in rows if r["grid"] == "variants"}
+    worst_ratio = max(
+        sv.arcs_processed / max(1, u) for u in sampled_unions.values()
+    )
+    fig.check(
+        "every sampled composition does >= 3x fewer union ops than unsampled SV",
+        all(sv.arcs_processed >= 3 * u for u in sampled_unions.values()),
+        f"SV {sv.arcs_processed} attempts; sampled "
+        + ", ".join(f"{k}: {v}" for k, v in sampled_unions.items()),
+    )
+    fig.check(
+        "sampling resolves the giant component (>= half the vertices) cheaply",
+        all(
+            r["giant_frac"] >= 0.5
+            for r in rows
+            if r["grid"] == "sampled" and "baseline" not in r["variant"]
+        ),
+        f"best reduction {worst_ratio:.0f}x",
+    )
+    fig.check(
+        "Rem's splicing union does the fewest pointer chases (no explicit finds)",
+        by_variant["rem/halving"]["chases"]
+        <= min(by_variant["rank/halving"]["chases"], by_variant["size/halving"]["chases"]),
+        f"rem {by_variant['rem/halving']['chases']}, "
+        f"rank {by_variant['rank/halving']['chases']}, "
+        f"size {by_variant['size/halving']['chases']}",
+    )
+    fig.check(
+        # Balanced unions keep trees flat, so compaction never gets long
+        # paths to shorten — chases stay O(1)/union across the whole grid
+        # (the inverse-Ackermann regime ConnectIt observes in practice).
+        "every variant stays in the O(1) chases-per-union regime",
+        all(r["chases/union"] <= 8.0 for r in rows if r["grid"] == "variants"),
+        f"max chases/union {max(r['chases/union'] for r in rows if r['grid'] == 'variants'):.2f}",
     )
     return fig
 

@@ -19,6 +19,8 @@ after the call).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.adjacency.csr import CSRGraph
@@ -30,6 +32,9 @@ from repro.parallel.bfs import parallel_bfs
 from repro.parallel.components import parallel_connected_components
 from repro.parallel.pool import WorkerPool
 from repro.parallel.queries import parallel_query_batch
+
+if TYPE_CHECKING:  # import cycle: repro.connectit.framework imports this module
+    from repro.connectit.framework import ConnectItResult, ConnectItSpec
 
 __all__ = ["BACKENDS", "ExecutionBackend", "SerialBackend", "ProcessBackend", "resolve_backend"]
 
@@ -49,17 +54,23 @@ class ExecutionBackend:
         ts_range: tuple[int, int] | None = None,
         max_levels: int | None = None,
     ) -> BFSResult:
+        """Level-synchronous BFS from ``source`` (optionally time-filtered)."""
         raise NotImplementedError
 
     def connected_components(
         self, graph: CSRGraph, *, max_passes: int | None = None
     ) -> ComponentsResult:
+        """Shiloach-Vishkin connected components with canonical labels."""
         raise NotImplementedError
 
     def query_batch(
         self, forest: LinkCutForest, us: np.ndarray, vs: np.ndarray
     ) -> tuple[np.ndarray, int]:
         """Connectivity answers plus the pointer-hop count of the batch."""
+        raise NotImplementedError
+
+    def connectit_components(self, graph: CSRGraph, spec: "ConnectItSpec") -> "ConnectItResult":
+        """Sample-finish connectivity (:mod:`repro.connectit`) on this backend."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -85,19 +96,28 @@ class SerialBackend(ExecutionBackend):
         ts_range: tuple[int, int] | None = None,
         max_levels: int | None = None,
     ) -> BFSResult:
+        """Run the in-process BFS kernel."""
         return bfs(graph, source, ts_range=ts_range, max_levels=max_levels)
 
     def connected_components(
         self, graph: CSRGraph, *, max_passes: int | None = None
     ) -> ComponentsResult:
+        """Run the in-process Shiloach-Vishkin kernel."""
         return connected_components(graph, max_passes=max_passes)
 
     def query_batch(
         self, forest: LinkCutForest, us: np.ndarray, vs: np.ndarray
     ) -> tuple[np.ndarray, int]:
+        """Serial batched findroots, hop-counted via the forest's counter."""
         before = forest.hops
         answers = forest.connected_batch(us, vs)
         return answers, forest.hops - before
+
+    def connectit_components(self, graph: CSRGraph, spec: "ConnectItSpec") -> "ConnectItResult":
+        """Run the serial sample-finish driver."""
+        from repro.connectit.framework import _serial_connect
+
+        return _serial_connect(graph, spec)
 
 
 class ProcessBackend(ExecutionBackend):
@@ -116,6 +136,7 @@ class ProcessBackend(ExecutionBackend):
 
     @property
     def workers(self) -> int:
+        """The pool's worker-process count."""
         return self.pool.workers
 
     def bfs(
@@ -126,19 +147,29 @@ class ProcessBackend(ExecutionBackend):
         ts_range: tuple[int, int] | None = None,
         max_levels: int | None = None,
     ) -> BFSResult:
+        """Run the shared-memory BFS driver on the worker pool."""
         return parallel_bfs(graph, source, self.pool, ts_range=ts_range, max_levels=max_levels)
 
     def connected_components(
         self, graph: CSRGraph, *, max_passes: int | None = None
     ) -> ComponentsResult:
+        """Run the shared-memory Shiloach-Vishkin driver on the pool."""
         return parallel_connected_components(graph, self.pool, max_passes=max_passes)
 
     def query_batch(
         self, forest: LinkCutForest, us: np.ndarray, vs: np.ndarray
     ) -> tuple[np.ndarray, int]:
+        """Fan the query batch out over the worker pool."""
         return parallel_query_batch(forest, us, vs, self.pool)
 
+    def connectit_components(self, graph: CSRGraph, spec: "ConnectItSpec") -> "ConnectItResult":
+        """Run the sample-finish driver with the finish phase on the pool."""
+        from repro.connectit.framework import _process_connect
+
+        return _process_connect(graph, spec, self.pool)
+
     def close(self) -> None:
+        """Shut the owned worker pool down."""
         self.pool.shutdown()
 
 

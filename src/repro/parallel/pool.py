@@ -53,6 +53,7 @@ def task(name: str) -> Callable[[Callable[[dict, dict], Any]], Callable[[dict, d
     """Decorator registering a worker-side task function under ``name``."""
 
     def register(fn: Callable[[dict, dict], Any]) -> Callable[[dict, dict], Any]:
+        """Record ``fn`` in the task registry and return it unchanged."""
         _TASKS[name] = fn
         return fn
 
@@ -103,6 +104,7 @@ def _worker_views(
 
 def _worker_main(worker_id: int, task_q: Any, result_q: Any) -> None:
     # Explicit imports populate the task registry under the spawn method.
+    import repro.connectit.framework  # noqa: F401
     import repro.parallel.bfs  # noqa: F401
     import repro.parallel.components  # noqa: F401
     import repro.parallel.queries  # noqa: F401
@@ -211,6 +213,7 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
 
     def start(self) -> "WorkerPool":
+        """Launch the worker processes (idempotent; returns ``self``)."""
         if self._closed:
             raise ParallelError("pool has been shut down")
         if self._started:

@@ -51,6 +51,7 @@ class ArraySpec:
 
     @property
     def nbytes(self) -> int:
+        """Size of the array's payload in bytes."""
         return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
 
 
@@ -63,6 +64,7 @@ class ArenaDescriptor:
 
     @property
     def names(self) -> tuple[str, ...]:
+        """The arena's array names, in placement order."""
         return tuple(s.name for s in self.specs)
 
 
@@ -140,6 +142,7 @@ class ShmArena:
 
     @property
     def descriptor(self) -> ArenaDescriptor:
+        """The picklable handle workers attach with (a few hundred bytes)."""
         name = self._shm.name if self._shm is not None else ""
         return ArenaDescriptor(name, tuple(self._specs.values()))
 
@@ -181,6 +184,7 @@ class ShmArena:
 
     @property
     def nbytes(self) -> int:
+        """Total size of the shared segment (0 when all arrays are empty)."""
         return self._shm.size if self._shm is not None else 0
 
     # ------------------------------------------------------------------ #

@@ -3,20 +3,18 @@
 import pytest
 
 from repro.experiments import ablations
+from repro.experiments.report import ABLATIONS, ablation_runners
+
+
+def test_registry_matches_module():
+    """Every registered key resolves to a runner; every runner is registered."""
+    assert [k for k, _ in ablation_runners()] == list(ABLATIONS)
+    exported = {name[len("run_"):] for name in ablations.__all__ if name.startswith("run_")}
+    assert exported == set(ABLATIONS)
 
 
 @pytest.mark.parametrize(
-    "runner",
-    [
-        ablations.run_resize_policy,
-        ablations.run_degree_thresh,
-        ablations.run_stream_order,
-        ablations.run_mix_ratio,
-        ablations.run_compression,
-        ablations.run_delta_sweep,
-    ],
-    ids=["resize_policy", "degree_thresh", "stream_order", "mix_ratio",
-         "compression", "delta_sweep"],
+    "runner", [fn for _, fn in ablation_runners()], ids=list(ABLATIONS)
 )
 def test_ablation_checks(runner):
     result = runner(quick=True)

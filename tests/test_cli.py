@@ -107,6 +107,15 @@ class TestTrace:
         assert "core.bfs" in printed
         assert out.exists()
 
+    def test_connectit_workload(self, tmp_path, capsys):
+        out = tmp_path / "connectit.jsonl"
+        assert main(["trace", "connectit", "--scale", "8", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "connectit.components" in printed
+        assert "connectit.sample" in printed
+        assert "connectit.finish" in printed
+        assert out.exists()
+
     def test_tracing_disabled_after_run(self, tmp_path):
         from repro import obs
 
