@@ -14,7 +14,9 @@ Every benchmark session additionally writes ``BENCH_repro.json`` at the
 repository root: per-kernel host seconds plus whatever simulated
 seconds/MUPS the benchmark attached to ``extra_info``, stamped with the run
 manifest (commit, seed, interpreter) so entries are comparable across
-commits — the perf trajectory ROADMAP asks for.
+commits — the perf trajectory ROADMAP asks for.  The same entries are
+also appended as one line to ``benchmarks/history.jsonl``, the
+append-only ledger behind ``python -m repro bench diff`` / ``trend``.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ import pytest
 from repro.experiments import FigureResult
 from repro.obs import ensure_manifest
 from repro.obs.bench import update_bench_file
+from repro.obs.history import DEFAULT_HISTORY_PATH, append_bench_history
 from repro.util.jsonify import jsonify
 
 
@@ -85,8 +88,13 @@ def pytest_sessionfinish(session, exitstatus):
             "extra_info": jsonify(dict(getattr(bench, "extra_info", {}) or {})),
         }
         entries.append(entry)
-    out = Path(__file__).resolve().parent.parent / "BENCH_repro.json"
-    update_bench_file(out, entries, manifest=ensure_manifest().to_dict())
+    root = Path(__file__).resolve().parent.parent
+    manifest = ensure_manifest().to_dict()
+    update_bench_file(root / "BENCH_repro.json", entries, manifest=manifest)
+    # Same entries, second artifact: one append-only ledger line per
+    # session so ``python -m repro bench diff/trend`` can compare runs
+    # across commits (see repro.obs.history).
+    append_bench_history(root / DEFAULT_HISTORY_PATH, entries, manifest=manifest)
 
 
 @pytest.fixture

@@ -15,8 +15,18 @@ Commands:
   manifest-stamped JSONL trace (see docs/OBSERVABILITY.md).  Takes
   ``--backend process --workers N`` to execute the analysis kernels on the
   shared-memory worker pool (docs/PARALLEL.md); the ``fig08``/``fig10``
-  workloads then also time serial vs process, verify bit-identity, and
-  merge the measured comparison into ``BENCH_repro.json``.
+  workloads then also time serial vs process, verify bit-identity, merge
+  the measured comparison into ``BENCH_repro.json`` and append it to the
+  bench-history ledger.  ``--chrome``/``--speedscope``/``--folded``
+  additionally export the trace for ``chrome://tracing``, speedscope and
+  flamegraph tools; ``--memprof`` turns on per-span memory accounting;
+  ``--quiet`` and ``--no-manifest`` trim the output/provenance for
+  scripted runs;
+* ``bench`` — inspect the bench-history ledger
+  (``benchmarks/history.jsonl``): ``bench diff A B`` prints per-kernel
+  deltas between two recorded runs, ``bench trend`` the whole trajectory,
+  both flagging drift beyond ``--threshold`` (and failing the process
+  with ``--fail-on-drift``).
 
 The figure reproductions live under ``python -m repro.experiments``.
 """
@@ -27,6 +37,12 @@ import argparse
 from pathlib import Path
 
 import numpy as np
+
+
+def _say(args: argparse.Namespace, *parts: object) -> None:
+    """Print unless the command was invoked with ``--quiet``."""
+    if not getattr(args, "quiet", False):
+        print(*parts)
 
 
 def _load(path: str):
@@ -186,8 +202,9 @@ def _trace_backend_compare(args: argparse.Namespace, backend) -> None:
 
     Runs the figure's kernel once on the serial backend and once on the
     requested one, asserts the results are bit-identical, prints the
-    measured wall-clock comparison, and merges a ``trace.<workload>``
-    entry (host seconds, speedup, manifest) into ``BENCH_repro.json``.
+    measured wall-clock comparison, merges a ``trace.<workload>`` entry
+    (host seconds, speedup, manifest) into ``BENCH_repro.json`` and
+    appends the run to the bench-history ledger.
     """
     import time
 
@@ -199,6 +216,7 @@ def _trace_backend_compare(args: argparse.Namespace, backend) -> None:
     from repro.core.connectivity import ConnectivityIndex
     from repro.generators import rmat_graph
     from repro.obs.bench import update_bench_file
+    from repro.obs.history import DEFAULT_HISTORY_PATH, append_bench_history
 
     ts_range = (0, 1000)
     graph = rmat_graph(args.scale, args.edge_factor, seed=args.seed, ts_range=ts_range)
@@ -236,10 +254,11 @@ def _trace_backend_compare(args: argparse.Namespace, backend) -> None:
         )
     speedup = serial_s / other_s if other_s > 0 else float("inf")
     workers = getattr(backend, "workers", 1)
-    print(
+    _say(
+        args,
         f"{args.workload}: serial {serial_s:.3f}s vs {backend.name} "
         f"({workers} workers) {other_s:.3f}s -> speedup {speedup:.2f}x "
-        f"[results identical; {detail}]"
+        f"[results identical; {detail}]",
     )
     entry = {
         "kernel": f"trace.{args.workload}[scale={args.scale}]",
@@ -255,8 +274,11 @@ def _trace_backend_compare(args: argparse.Namespace, backend) -> None:
         },
     }
     doc = update_bench_file(Path.cwd() / "BENCH_repro.json", [entry])
-    print(f"merged measured comparison into BENCH_repro.json "
-          f"({doc['n_benchmarks']} entries)")
+    _say(args, f"merged measured comparison into BENCH_repro.json "
+               f"({doc['n_benchmarks']} entries)")
+    record = append_bench_history(Path.cwd() / DEFAULT_HISTORY_PATH, [entry])
+    _say(args, f"appended run to {DEFAULT_HISTORY_PATH} "
+               f"({record['n_kernels']} kernel(s))")
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -266,19 +288,23 @@ def cmd_trace(args: argparse.Namespace) -> int:
         # The figure workloads default to the scale-12 R-MAT instance the
         # benchmark baseline uses; the quickstart slices stay smaller.
         args.scale = 12 if args.workload in ("fig08", "fig10") else 11
-    manifest = obs.RunManifest.capture(
-        seed=args.seed,
-        machine=args.machine,
-        workload=args.workload,
-        backend=args.backend,
-        workers=args.workers,
-    )
-    obs.set_manifest(manifest)
+    manifest = None
+    if not args.no_manifest:
+        manifest = obs.RunManifest.capture(
+            seed=args.seed,
+            machine=args.machine,
+            workload=args.workload,
+            backend=args.backend,
+            workers=args.workers,
+        )
+        obs.set_manifest(manifest)
     out = Path(args.out) if args.out else Path(f"trace-{args.workload}.jsonl")
     memory = obs.MemorySink()
     jsonl = obs.JsonlSink(out)
     obs.METRICS.reset()
     obs.enable_tracing(obs.TeeSink(memory, jsonl), manifest=manifest)
+    if args.memprof:
+        obs.enable_memory_profiling()
     backend = _resolve_trace_backend(args)
     try:
         with obs.span(
@@ -290,13 +316,65 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 _trace_workload(args, backend)
     finally:
         backend.close()
+        if args.memprof:
+            obs.disable_memory_profiling()
         obs.disable_tracing()
         jsonl.close()
-    print(manifest.summary())
-    print()
-    print(obs.describe(memory.events, metrics=obs.METRICS))
-    print()
-    print(f"wrote {jsonl.n_written} trace events -> {out}")
+    if manifest is not None:
+        _say(args, manifest.summary())
+        _say(args)
+    _say(args, obs.describe(memory.events, metrics=obs.METRICS))
+    _say(args)
+    _say(args, f"wrote {jsonl.n_written} trace events -> {out}")
+    manifest_dict = manifest.to_dict() if manifest is not None else None
+    if args.chrome:
+        p = obs.write_chrome_trace(args.chrome, memory.events, manifest=manifest_dict)
+        _say(args, f"wrote Chrome trace (chrome://tracing, Perfetto) -> {p}")
+    if args.speedscope:
+        p = obs.write_speedscope(
+            args.speedscope, memory.events, name=f"repro trace {args.workload}"
+        )
+        _say(args, f"wrote speedscope profile (speedscope.app) -> {p}")
+    if args.folded:
+        p = obs.write_folded(args.folded, memory.events)
+        _say(args, f"wrote folded stacks (flamegraph.pl et al.) -> {p}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.history import (
+        HistoryError,
+        diff_records,
+        format_diff,
+        format_trend,
+        load_history,
+        select_record,
+        trend_rows,
+    )
+
+    records = load_history(args.history)
+    try:
+        if args.bench_command == "diff":
+            a = select_record(records, args.a)
+            b = select_record(records, args.b)
+            rows = diff_records(a, b)
+            print(format_diff(a, b, rows, threshold=args.threshold))
+            drifted = [
+                r for r in rows
+                if r["delta_pct"] is not None and abs(r["delta_pct"]) > args.threshold
+            ]
+        else:  # trend
+            rows = trend_rows(records)
+            print(format_trend(records, rows, threshold=args.threshold))
+            drifted = [
+                r for r in rows
+                if r["total_pct"] is not None and abs(r["total_pct"]) > args.threshold
+            ]
+    except HistoryError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.fail_on_drift and drifted:
+        return 1
     return 0
 
 
@@ -359,7 +437,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--out", default=None,
                    help="JSONL trace path (default: trace-<workload>.jsonl)")
+    p.add_argument("--chrome", default=None, metavar="PATH",
+                   help="also export a Chrome trace-event JSON "
+                        "(chrome://tracing / Perfetto)")
+    p.add_argument("--speedscope", default=None, metavar="PATH",
+                   help="also export a speedscope profile (speedscope.app)")
+    p.add_argument("--folded", default=None, metavar="PATH",
+                   help="also export folded stacks for flamegraph tools")
+    p.add_argument("--memprof", action="store_true",
+                   help="per-span memory accounting (tracemalloc + RSS); "
+                        "spans gain alloc/peak/rss-delta attributes")
+    p.add_argument("--quiet", "-q", action="store_true",
+                   help="suppress the summary output (artifacts still written)")
+    p.add_argument("--no-manifest", action="store_true",
+                   help="skip run-manifest capture/stamping (fast scripted runs)")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "bench", help="inspect the bench-history ledger (diff/trend across runs)"
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    for name, help_text in (
+        ("diff", "per-kernel deltas between two recorded runs"),
+        ("trend", "per-kernel trajectory across all recorded runs"),
+    ):
+        bp = bench_sub.add_parser(name, help=help_text)
+        if name == "diff":
+            bp.add_argument("a", help="run selector: index, latest/previous/first, "
+                                      "or manifest-id/git-sha prefix")
+            bp.add_argument("b", help="run selector (positive %% = B slower than A)")
+        bp.add_argument("--history", default=str(Path("benchmarks") / "history.jsonl"),
+                        help="ledger path (default: benchmarks/history.jsonl)")
+        bp.add_argument("--threshold", type=float, default=25.0,
+                        help="drift flag threshold in %% (default: 25)")
+        bp.add_argument("--fail-on-drift", action="store_true",
+                        help="exit 1 when any kernel drifts beyond the threshold")
+        bp.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("simulate", help="sweep a workload on a simulated machine")
     p.add_argument("graph")

@@ -16,10 +16,12 @@ from repro.experiments.common import (
     FigureResult,
     T2_THREADS,
     footprint_coefficients,
+    measured_memory_meta,
     measured_scale,
     scaled_sweep,
 )
 from repro.generators.rmat import rmat_graph
+from repro.obs.prof import measure_block
 from repro.machine.scale import ScaledInstance
 from repro.machine.spec import ULTRASPARC_T2
 from repro.util.seeding import DEFAULT_SEED
@@ -47,11 +49,15 @@ def run(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResult:
     series = []
     host = {}
     for label, rep in make_reps(n0, 2 * m0, seed):
-        res = construct(rep, graph)
+        with measure_block() as mem:
+            res = construct(rep, graph)
+        mem_meta = measured_memory_meta(mem)
+        profile = res.profile.with_meta(**mem_meta) if mem_meta else res.profile
         host[label] = {
             "host_seconds": res.host_seconds,
             "host_mups": res.profile.meta.get("host_mups", 0.0),
             "vectorised": res.meta.get("vectorised", False),
+            **mem_meta,
         }
         bpv, bpe = footprint_coefficients(rep, n0, 2 * m0)
         inst = ScaledInstance(
@@ -62,7 +68,7 @@ def run(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResult:
         )
         series.append(
             scaled_sweep(
-                res.profile, inst, ULTRASPARC_T2, T2_THREADS,
+                profile, inst, ULTRASPARC_T2, T2_THREADS,
                 n_items=TARGET_M, label=label,
                 logdeg_correction=(label != "Dyn-arr"),
             )

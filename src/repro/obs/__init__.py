@@ -8,7 +8,13 @@ machine-independent work accounting in :mod:`repro.machine.profile` (see
 * :mod:`repro.obs.metrics` — process-wide counters/gauges/histograms the
   instrumented kernels tick at phase granularity;
 * :mod:`repro.obs.sink` — memory ring buffer, JSONL file and tee sinks;
-* :mod:`repro.obs.manifest` — run manifests stamped into every artifact.
+* :mod:`repro.obs.manifest` — run manifests stamped into every artifact;
+* :mod:`repro.obs.prof` — opt-in per-span memory accounting
+  (tracemalloc + RSS);
+* :mod:`repro.obs.export` — Chrome-trace / speedscope / folded-stack
+  exporters over recorded span streams;
+* :mod:`repro.obs.history` — the append-only bench-history ledger behind
+  ``python -m repro bench diff/trend``.
 
 Typical use (what ``python -m repro trace`` does):
 
@@ -29,7 +35,23 @@ from repro.obs.manifest import (
     manifest_meta,
     set_manifest,
 )
+from repro.obs.export import (
+    to_chrome_trace,
+    to_folded,
+    to_speedscope,
+    write_chrome_trace,
+    write_folded,
+    write_speedscope,
+)
 from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.prof import (
+    MemoryProfiler,
+    current_memory_profiler,
+    disable_memory_profiling,
+    enable_memory_profiling,
+    measure_block,
+    memory_profiling_enabled,
+)
 from repro.obs.sink import JsonlSink, MemorySink, TeeSink, TraceSink, describe, read_jsonl
 from repro.obs.trace import (
     Span,
@@ -68,4 +90,16 @@ __all__ = [
     "tracing_enabled",
     "current_tracer",
     "format_span_tree",
+    "MemoryProfiler",
+    "enable_memory_profiling",
+    "disable_memory_profiling",
+    "memory_profiling_enabled",
+    "current_memory_profiler",
+    "measure_block",
+    "to_chrome_trace",
+    "to_speedscope",
+    "to_folded",
+    "write_chrome_trace",
+    "write_speedscope",
+    "write_folded",
 ]

@@ -1,0 +1,307 @@
+"""The bench-history ledger: a perf trajectory across runs and commits.
+
+``BENCH_repro.json`` (see :mod:`repro.obs.bench`) is a *snapshot*: one
+entry per kernel, each re-run replacing the last.  That makes perf drift
+between PRs invisible — exactly the regression GBBS/ConnectIt-style
+instrumentation is supposed to catch.  This module keeps the missing time
+axis: every bench run appends one JSONL record to
+``benchmarks/history.jsonl`` —
+
+.. code-block:: json
+
+    {"recorded": "2026-08-06T12:00:00Z", "manifest_id": "...",
+     "git_sha": "...", "n_kernels": 12,
+     "kernels": {"<kernel>": <host_seconds>, ...}}
+
+— so ``python -m repro bench diff <A> <B>`` can print per-kernel deltas
+between any two recorded runs and ``python -m repro bench trend`` can
+walk a kernel's whole trajectory and flag drift beyond a threshold.
+
+Records are selected by position (``0``, ``-1``, ``-2`` like Python
+indexing, or the aliases ``latest``/``previous``/``first``) or by a
+manifest-id / git-sha prefix, so CI logs and humans can both name runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs.manifest import ensure_manifest
+from repro.util.jsonify import jsonify
+
+__all__ = [
+    "HistoryError",
+    "DEFAULT_HISTORY_PATH",
+    "history_record",
+    "append_bench_history",
+    "load_history",
+    "select_record",
+    "diff_records",
+    "trend_rows",
+    "format_diff",
+    "format_trend",
+]
+
+#: Where the ledger lives, relative to the working directory / repo root.
+DEFAULT_HISTORY_PATH = Path("benchmarks") / "history.jsonl"
+
+
+class HistoryError(ReproError):
+    """A bench-history request that cannot be satisfied (bad selector, ...)."""
+
+
+def _kernel_value(entry: Mapping[str, Any]) -> Optional[float]:
+    """The recorded scalar for one bench entry (host seconds), if usable."""
+    value = entry.get("host_seconds")
+    try:
+        return None if value is None else float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def history_record(
+    entries: Iterable[Mapping[str, Any]],
+    *,
+    manifest: Optional[Mapping[str, Any]] = None,
+) -> dict[str, Any]:
+    """Build one ledger record from bench entries plus a run manifest.
+
+    Entries without a usable ``host_seconds`` are skipped (a benchmark
+    that errored out should not poison the trajectory); the timestamp and
+    shas come from the manifest so the record is attributable on its own.
+    """
+    m = dict(manifest) if manifest is not None else ensure_manifest().to_dict()
+    kernels: dict[str, float] = {}
+    for entry in entries:
+        if not isinstance(entry, Mapping):
+            continue
+        value = _kernel_value(entry)
+        if value is not None:
+            kernels[str(entry.get("kernel"))] = value
+    return {
+        "recorded": m.get("created"),
+        "manifest_id": m.get("id"),
+        "git_sha": m.get("git_sha"),
+        "n_kernels": len(kernels),
+        "kernels": kernels,
+    }
+
+
+def append_bench_history(
+    path: str | Path,
+    entries: Iterable[Mapping[str, Any]],
+    *,
+    manifest: Optional[Mapping[str, Any]] = None,
+) -> dict[str, Any]:
+    """Append one run's record to the ledger at ``path``; returns the record.
+
+    Creates the parent directory when missing.  A run with zero usable
+    kernels is *not* appended (returns the would-be record unchanged) so a
+    failed benchmark session leaves the trajectory intact.
+    """
+    record = history_record(entries, manifest=manifest)
+    if not record["kernels"]:
+        return record
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("a") as fh:
+        fh.write(json.dumps(jsonify(record), sort_keys=True))
+        fh.write("\n")
+    return record
+
+
+def load_history(path: str | Path) -> list[dict[str, Any]]:
+    """Load the ledger's records, oldest first; [] when absent.
+
+    Unparsable lines are skipped (a truncated append must not take the
+    whole trajectory down), as are records without a ``kernels`` mapping.
+    """
+    p = Path(path)
+    records: list[dict[str, Any]] = []
+    try:
+        lines = p.read_text().splitlines()
+    except OSError:
+        return records
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and isinstance(record.get("kernels"), dict):
+            records.append(record)
+    return records
+
+
+_ALIASES = {"latest": -1, "previous": -2, "first": 0}
+
+
+def select_record(records: Sequence[Mapping[str, Any]], selector: str) -> dict[str, Any]:
+    """Pick one ledger record by index, alias, or id/sha prefix.
+
+    ``selector`` may be an integer position (negatives count from the
+    end), one of ``latest`` / ``previous`` / ``first``, or a prefix of a
+    record's ``manifest_id`` or ``git_sha`` (most recent match wins).
+    """
+    if not records:
+        raise HistoryError("bench history is empty — run the benchmark suite first")
+    sel = selector.strip()
+    index = _ALIASES.get(sel.lower())
+    if index is None:
+        try:
+            index = int(sel)
+        except ValueError:
+            index = None
+    if index is not None:
+        try:
+            return dict(records[index])
+        except IndexError:
+            raise HistoryError(
+                f"history index {index} out of range (have {len(records)} records)"
+            ) from None
+    for record in reversed(records):
+        mid = str(record.get("manifest_id") or "")
+        sha = str(record.get("git_sha") or "")
+        if (mid and mid.startswith(sel)) or (sha and sha.startswith(sel)):
+            return dict(record)
+    raise HistoryError(
+        f"no history record matches {selector!r} "
+        f"(by index, alias, manifest id, or git sha prefix)"
+    )
+
+
+def _pct(old: float, new: float) -> Optional[float]:
+    """Percentage change new-vs-old; None when the old value is zero."""
+    if old == 0:
+        return None
+    return 100.0 * (new - old) / old
+
+
+def diff_records(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> list[dict[str, Any]]:
+    """Per-kernel comparison rows between ledger records ``a`` and ``b``.
+
+    Each row carries ``kernel``, ``a_seconds``, ``b_seconds`` (None for a
+    kernel present on one side only) and ``delta_pct`` (positive = ``b``
+    slower).  Rows are sorted by kernel name.
+    """
+    ka = {str(k): float(v) for k, v in a.get("kernels", {}).items()}
+    kb = {str(k): float(v) for k, v in b.get("kernels", {}).items()}
+    rows: list[dict[str, Any]] = []
+    for kernel in sorted(set(ka) | set(kb)):
+        va, vb = ka.get(kernel), kb.get(kernel)
+        delta = _pct(va, vb) if va is not None and vb is not None else None
+        rows.append(
+            {"kernel": kernel, "a_seconds": va, "b_seconds": vb, "delta_pct": delta}
+        )
+    return rows
+
+
+def trend_rows(records: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Per-kernel trajectory summaries over the whole ledger.
+
+    Each row carries the kernel name, how many runs recorded it, its
+    first/last values, and ``total_pct`` — last-vs-first change (None when
+    seen only once or the first value is zero).
+    """
+    series: dict[str, list[float]] = {}
+    for record in records:
+        for kernel, value in record.get("kernels", {}).items():
+            try:
+                series.setdefault(str(kernel), []).append(float(value))
+            except (TypeError, ValueError):
+                continue
+    rows: list[dict[str, Any]] = []
+    for kernel in sorted(series):
+        values = series[kernel]
+        total = _pct(values[0], values[-1]) if len(values) > 1 else None
+        rows.append(
+            {
+                "kernel": kernel,
+                "runs": len(values),
+                "first_seconds": values[0],
+                "last_seconds": values[-1],
+                "total_pct": total,
+            }
+        )
+    return rows
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.4g}s"
+
+
+def _fmt_pct(value: Optional[float], threshold: float) -> str:
+    if value is None:
+        return "-"
+    flag = "  !! drift" if abs(value) > threshold else ""
+    return f"{value:+.1f}%{flag}"
+
+
+def _record_label(record: Mapping[str, Any]) -> str:
+    sha = str(record.get("git_sha") or "?")[:10]
+    return f"{record.get('manifest_id', '?')} (git {sha}, {record.get('recorded', '?')})"
+
+
+def format_diff(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    threshold: float = 25.0,
+) -> str:
+    """Render diff rows as an aligned table with drift flags."""
+    lines = [f"A: {_record_label(a)}", f"B: {_record_label(b)}", ""]
+    width = max([len("kernel"), *(len(str(r["kernel"])) for r in rows)], default=6)
+    lines.append(f"{'kernel'.ljust(width)}  {'A':>10}  {'B':>10}  delta")
+    for r in rows:
+        lines.append(
+            f"{str(r['kernel']).ljust(width)}  {_fmt_seconds(r['a_seconds']):>10}  "
+            f"{_fmt_seconds(r['b_seconds']):>10}  {_fmt_pct(r['delta_pct'], threshold)}"
+        )
+    flagged = [
+        r for r in rows if r["delta_pct"] is not None and abs(r["delta_pct"]) > threshold
+    ]
+    lines.append("")
+    lines.append(
+        f"{len(rows)} kernel(s), {len(flagged)} beyond ±{threshold:g}% drift threshold"
+    )
+    return "\n".join(lines)
+
+
+def format_trend(
+    records: Sequence[Mapping[str, Any]],
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    threshold: float = 25.0,
+) -> str:
+    """Render trend rows as an aligned table with drift flags."""
+    if not records:
+        return "bench history is empty — nothing to trend yet"
+    lines = [
+        f"{len(records)} recorded run(s): "
+        f"{_record_label(records[0])} .. {_record_label(records[-1])}",
+        "",
+    ]
+    width = max([len("kernel"), *(len(str(r["kernel"])) for r in rows)], default=6)
+    lines.append(f"{'kernel'.ljust(width)}  runs  {'first':>10}  {'last':>10}  total")
+    for r in rows:
+        lines.append(
+            f"{str(r['kernel']).ljust(width)}  {r['runs']:>4}  "
+            f"{_fmt_seconds(r['first_seconds']):>10}  {_fmt_seconds(r['last_seconds']):>10}  "
+            f"{_fmt_pct(r['total_pct'], threshold)}"
+        )
+    flagged = [
+        r for r in rows if r["total_pct"] is not None and abs(r["total_pct"]) > threshold
+    ]
+    lines.append("")
+    lines.append(
+        f"{len(rows)} kernel(s), {len(flagged)} beyond ±{threshold:g}% drift threshold"
+    )
+    return "\n".join(lines)

@@ -24,7 +24,14 @@ from __future__ import annotations
 
 from threading import Lock
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "snapshot_delta",
+]
 
 
 class Counter:
@@ -93,8 +100,15 @@ class Histogram:
         self.max = float("-inf")
 
     def summary(self) -> dict:
+        """JSON-safe summary; an empty histogram reports well-defined zeros.
+
+        ``min``/``max`` are ``±inf`` sentinels internally while empty;
+        leaking them would put non-finite floats (or ``NaN`` via
+        arithmetic on them) into JSON artifacts, so the empty summary
+        pins every field to zero instead.
+        """
         if not self.count:
-            return {"count": 0, "total": 0.0, "mean": 0.0, "min": None, "max": None}
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
         return {
             "count": self.count,
             "total": self.total,
@@ -170,6 +184,51 @@ class MetricsRegistry:
             },
         }
 
+    def merge_snapshot(
+        self,
+        snapshot: dict,
+        *,
+        prefix: str = "",
+        rollup: str | None = None,
+    ) -> None:
+        """Fold another registry's :meth:`snapshot` (or delta) into this one.
+
+        Used by the process backend to aggregate worker telemetry: counters
+        *add* (under ``prefix.`` when given, and again under ``rollup.`` so
+        a combined total exists next to the per-worker series), gauges
+        *overwrite* under the prefix and take the *max* under the rollup
+        (the rollup of a last-value metric like ``memory.peak_bytes`` is
+        its high-water mark), and histogram summaries merge count/total/
+        min/max exactly.
+        """
+
+        def names(base: str) -> list[str]:
+            out = [f"{prefix}.{base}" if prefix else base]
+            if rollup:
+                out.append(f"{rollup}.{base}")
+            return out
+
+        for base, value in snapshot.get("counters", {}).items():
+            if value:
+                for name in names(base):
+                    self.counter(name).inc(int(value))
+        for base, value in snapshot.get("gauges", {}).items():
+            target = f"{prefix}.{base}" if prefix else base
+            self.gauge(target).set(float(value))
+            if rollup:
+                g = self.gauge(f"{rollup}.{base}")
+                g.set(max(g.value, float(value)))
+        for base, summary in snapshot.get("histograms", {}).items():
+            count = int(summary.get("count", 0))
+            if not count:
+                continue
+            for name in names(base):
+                h = self.histogram(name)
+                h.count += count
+                h.total += float(summary.get("total", 0.0))
+                h.min = min(h.min, float(summary.get("min", 0.0)))
+                h.max = max(h.max, float(summary.get("max", 0.0)))
+
     def reset(self) -> None:
         """Zero every metric (names stay registered)."""
         for c in self._counters.values():
@@ -178,6 +237,44 @@ class MetricsRegistry:
             g.reset()
         for h in self._histograms.values():
             h.reset()
+
+
+def snapshot_delta(before: dict, after: dict) -> dict:
+    """What happened between two :meth:`MetricsRegistry.snapshot` calls.
+
+    Counters difference (only positive deltas survive); gauges keep the
+    ``after`` value when it changed; histogram summaries difference their
+    count/total and keep the ``after`` extremes (exact extremes of an
+    interval are not recoverable from two endpoint summaries — for the
+    worker-telemetry use case the registry is fresh per process, so the
+    approximation is exact in practice).  The result is itself snapshot-
+    shaped, so it feeds straight into :meth:`MetricsRegistry
+    .merge_snapshot`.
+    """
+    counters = {}
+    before_c = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        delta = value - before_c.get(name, 0)
+        if delta > 0:
+            counters[name] = delta
+    gauges = {}
+    before_g = before.get("gauges", {})
+    for name, value in after.get("gauges", {}).items():
+        if name not in before_g or before_g[name] != value:
+            gauges[name] = value
+    histograms = {}
+    before_h = before.get("histograms", {})
+    for name, summary in after.get("histograms", {}).items():
+        prior = before_h.get(name, {})
+        count = int(summary.get("count", 0)) - int(prior.get("count", 0))
+        if count > 0:
+            histograms[name] = {
+                "count": count,
+                "total": float(summary.get("total", 0.0)) - float(prior.get("total", 0.0)),
+                "min": summary.get("min", 0.0),
+                "max": summary.get("max", 0.0),
+            }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 
 #: The process-wide registry every instrumented module ticks into.

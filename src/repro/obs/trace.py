@@ -44,7 +44,27 @@ __all__ = [
     "tracing_enabled",
     "current_tracer",
     "format_span_tree",
+    "set_memory_hook",
 ]
+
+#: Optional per-span memory sampler (installed by :mod:`repro.obs.prof`).
+#: Kept as a module global so the disabled cost is one ``is None`` test on
+#: the *enabled*-tracing path only; when tracing is off, spans are no-ops
+#: and the hook is never consulted.
+_MEM_HOOK: object | None = None
+
+
+def set_memory_hook(hook: object | None) -> None:
+    """Install/remove the span memory sampler (see :mod:`repro.obs.prof`).
+
+    ``hook`` must provide ``on_enter(span)`` and ``on_exit(span)``; it is
+    called around every enabled span, after the span is pushed on the
+    tracer stack and before the timer starts (entry) / after the timer
+    stops and before the event is emitted (exit), so sampling time is not
+    charged to the span's duration.
+    """
+    global _MEM_HOOK
+    _MEM_HOOK = hook
 
 
 class _NullSpan:
@@ -95,6 +115,9 @@ class Span:
 
     def __enter__(self) -> "Span":
         self.tracer._stack.append(self.span_id)
+        hook = _MEM_HOOK
+        if hook is not None:
+            hook.on_enter(self)  # type: ignore[attr-defined]
         self.t_start = time.perf_counter()
         return self
 
@@ -103,6 +126,9 @@ class Span:
         stack = self.tracer._stack
         if stack and stack[-1] == self.span_id:
             stack.pop()
+        hook = _MEM_HOOK
+        if hook is not None:
+            hook.on_exit(self)  # type: ignore[attr-defined]
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self.tracer._emit(self)
@@ -203,6 +229,7 @@ _TREE_ATTRS = (
     "sim_seconds",
     "best_seconds",
     "mups",
+    "peak_bytes",
     "error",
 )
 

@@ -54,6 +54,11 @@ def _bfs_level(views: dict, payload: dict) -> dict:
         "edges": total,
         "max_degree": int(counts.max()) if counts.size else 0,
     }
+    # Distinct from the canonical ``bfs.edges_scanned`` (ticked once per
+    # traversal by the parent): this one counts per gather call, so fanned
+    # out levels surface per-worker under ``worker{i}.bfs.level.edges``
+    # while inlined levels land in the parent registry directly.
+    METRICS.inc("bfs.level.edges", total)
     if total == 0:
         empty = np.empty(0, dtype=np.int64)
         return {"nbrs": empty, "reps": empty, "fragment": fragment}

@@ -23,6 +23,17 @@ Design points:
   tracer (fresh span ids, parented at the current open span, tagged with
   the worker id) so one JSONL trace shows the whole fan-out under the
   parent's run manifest.
+* **Telemetry aggregation** — each worker ships the delta of its own
+  ``METRICS`` registry (and, when the parent has memory profiling on, its
+  task's heap/RSS peaks) back with every result.  The parent merges the
+  delta under a ``worker{i}.`` prefix *and* a combined ``workers.``
+  rollup (:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`), so
+  for deterministic kernels ``workers.<counter>`` equals the counter a
+  serial run would have ticked.  The pool also maintains health metrics:
+  ``parallel.pool.tasks_dispatched`` / ``.tasks_completed`` /
+  ``.task_errors`` counters, a ``parallel.pool.workers`` gauge, and
+  ``parallel.pool.task_seconds`` / ``.queue_wait_seconds`` histograms
+  (wait = round-trip latency minus worker execution time).
 
 Worker-side task functions are registered with :func:`task` at import time;
 ``_worker_main`` imports the kernel modules explicitly so registration also
@@ -32,11 +43,19 @@ happens under the ``spawn`` start method.
 from __future__ import annotations
 
 import os
+import time
 import traceback
 from typing import Any, Callable, Sequence
 
 from repro.errors import ParallelError, WorkerCrashError
 from repro.obs import METRICS, current_tracer, disable_tracing, enable_tracing, span
+from repro.obs.metrics import snapshot_delta
+from repro.obs.prof import (
+    disable_memory_profiling,
+    enable_memory_profiling,
+    measure_block,
+    memory_profiling_enabled,
+)
 from repro.obs.sink import MemorySink
 from repro.parallel.shm import ArenaDescriptor, ShmArena
 
@@ -114,8 +133,9 @@ def _worker_main(worker_id: int, task_q: Any, result_q: Any) -> None:
         msg = task_q.get()
         if msg is None:
             break
-        task_id, name, descriptors, payload, traced = msg
+        task_id, name, descriptors, payload, traced, memprof = msg
         events: list[dict] = []
+        telemetry: dict = {}
         try:
             fn = _TASKS.get(name)
             if fn is None:
@@ -124,17 +144,28 @@ def _worker_main(worker_id: int, task_q: Any, result_q: Any) -> None:
             if traced:
                 sink = MemorySink()
                 enable_tracing(sink)
+            if memprof:
+                enable_memory_profiling()
+            before = METRICS.snapshot()
+            t0 = time.perf_counter()
             try:
-                with span(f"parallel.{name}", worker=worker_id, task=task_id):
-                    out = fn(_worker_views(arenas, descriptors), payload)
+                with measure_block() as mem:
+                    with span(f"parallel.{name}", worker=worker_id, task=task_id):
+                        out = fn(_worker_views(arenas, descriptors), payload)
             finally:
+                telemetry = snapshot_delta(before, METRICS.snapshot())
+                telemetry["exec_seconds"] = time.perf_counter() - t0
+                if mem.enabled:
+                    telemetry["memory"] = mem.meta()
+                if memprof:
+                    disable_memory_profiling()
                 if sink is not None:
                     events = list(sink.events)
                     disable_tracing()
-            result_q.put((task_id, worker_id, "ok", out, events))
+            result_q.put((task_id, worker_id, "ok", out, events, telemetry))
         except BaseException as exc:  # noqa: BLE001 - relayed to the parent
             detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
-            result_q.put((task_id, worker_id, "error", detail, events))
+            result_q.put((task_id, worker_id, "error", detail, events, telemetry))
     for arena in arenas.values():
         arena.close()
 
@@ -144,8 +175,20 @@ def _worker_main(worker_id: int, task_q: Any, result_q: Any) -> None:
 
 @task("selftest.echo")
 def _selftest_echo(views: dict, payload: dict) -> dict:
+    """Echo the payload back (used by pool round-trip tests)."""
     with span("parallel.selftest.echo.inner"):
         return {"echo": payload.get("value"), "arrays": sorted(views)}
+
+
+@task("selftest.tick")
+def _selftest_tick(views: dict, payload: dict) -> int:
+    """Tick worker-side metrics (and optionally allocate) for telemetry tests."""
+    n = int(payload.get("n", 1))
+    METRICS.inc("selftest.ticks", n)
+    METRICS.observe("selftest.lat", float(n))
+    blob = bytearray(int(payload.get("alloc_bytes", 0)))
+    del blob
+    return n
 
 
 @task("selftest.exit")
@@ -232,6 +275,7 @@ class WorkerPool:
             self._procs.append(proc)
         self._started = True
         METRICS.inc("parallel.pools_started")
+        METRICS.set("parallel.pool.workers", self.workers)
         return self
 
     def shutdown(self) -> None:
@@ -279,14 +323,18 @@ class WorkerPool:
             return []
         self.start()
         traced = current_tracer() is not None
+        memprof = memory_profiling_enabled()
         base = self._task_counter
         self._task_counter += len(tasks)
+        dispatched_at: dict[int, float] = {}
         for i, spec in enumerate(tasks):
             if spec.name not in _TASKS:
                 raise ParallelError(f"unknown task {spec.name!r}")
+            dispatched_at[base + i] = self._now()
             self._task_qs[i % self.workers].put(
-                (base + i, spec.name, spec.arenas, spec.payload, traced)
+                (base + i, spec.name, spec.arenas, spec.payload, traced, memprof)
             )
+        METRICS.inc("parallel.pool.tasks_dispatched", len(tasks))
         results: dict[int, Any] = {}
         errors: dict[int, str] = {}
         deadline = self._now() + self.timeout
@@ -294,14 +342,18 @@ class WorkerPool:
             got = self._drain_one(
                 deadline, n_expected=len(tasks), n_done=len(results) + len(errors)
             )
-            task_id, worker_id, status, out, events = got
+            task_id, worker_id, status, out, events, telemetry = got
             if not base <= task_id < base + len(tasks):
                 continue  # stale result from an abandoned round
             if events:
                 self._adopt_events(events, worker_id)
+            if telemetry:
+                self._merge_telemetry(worker_id, telemetry, dispatched_at.get(task_id))
             if status == "ok":
+                METRICS.inc("parallel.pool.tasks_completed")
                 results[task_id - base] = out
             else:
+                METRICS.inc("parallel.pool.task_errors")
                 errors[task_id - base] = out
         METRICS.inc("parallel.tasks", len(tasks))
         if errors:
@@ -357,6 +409,36 @@ class WorkerPool:
         self._result_q = None
         self._started = False
         self._closed = True
+
+    def _merge_telemetry(
+        self, worker_id: int, telemetry: dict, dispatched: float | None
+    ) -> None:
+        """Fold one task's worker telemetry into the parent ``METRICS``.
+
+        Kernel counters land twice: once under ``worker{i}.`` (per-worker
+        series) and once under ``workers.`` (the combined rollup that is
+        comparable with a serial run's counters).  Execution time and
+        queue wait feed the pool-health histograms; worker memory peaks
+        (shipped only when the parent has memory profiling enabled) land
+        as per-worker gauges with a max rollup.
+        """
+        METRICS.merge_snapshot(
+            {k: telemetry.get(k, {}) for k in ("counters", "gauges", "histograms")},
+            prefix=f"worker{worker_id}",
+            rollup="workers",
+        )
+        exec_seconds = telemetry.get("exec_seconds")
+        if exec_seconds is not None:
+            METRICS.observe("parallel.pool.task_seconds", float(exec_seconds))
+            if dispatched is not None:
+                wait = (self._now() - dispatched) - float(exec_seconds)
+                METRICS.observe("parallel.pool.queue_wait_seconds", max(0.0, wait))
+        memory = telemetry.get("memory") or {}
+        peak = memory.get("peak_bytes")
+        if peak is not None:
+            METRICS.set(f"worker{worker_id}.memory.peak_bytes", float(peak))
+            rollup = METRICS.gauge("workers.memory.peak_bytes")
+            rollup.set(max(rollup.value, float(peak)))
 
     def _adopt_events(self, events: list[dict], worker_id: int) -> None:
         """Re-emit worker span events under the parent tracer."""

@@ -48,6 +48,11 @@ def _queries_connected(views: dict, payload: dict) -> dict:
     vs = views["vs"][lo:hi]
     ru, hops_u = _chase_roots(parent, us)
     rv, hops_v = _chase_roots(parent, vs)
+    # Worker-side mirror of the oracle's parent-side ticks: the pool ships
+    # these back as telemetry, so the parent's ``workers.connectivity.*``
+    # rollup equals the serial backend's counters for the same batch.
+    METRICS.inc("connectivity.queries", int(hi - lo))
+    METRICS.inc("connectivity.hops", hops_u + hops_v)
     return {
         "connected": np.ascontiguousarray(ru == rv),
         "hops": hops_u + hops_v,

@@ -78,3 +78,47 @@ class TestUpdateFile:
         assert sorted(e["kernel"] for e in doc["entries"]) == ["fig02", "fig08"]
         assert doc["manifest"]["id"] == "m2"
         assert [m["id"] for m in doc["previous_manifests"]] == ["m1"]
+
+
+class TestMergeEdgeCases:
+    def test_duplicate_kernels_in_incoming_entries(self):
+        # The later duplicate wins (it replaces the first via the index),
+        # and the document never carries two entries for one kernel.
+        doc = merge_bench_document(
+            None, [entry("a", 1.0), entry("a", 5.0)], manifest=manifest("m1")
+        )
+        assert doc["n_benchmarks"] == 1
+        assert doc["entries"] == [entry("a", 5.0)]
+
+    def test_duplicate_kernels_in_existing_document(self):
+        # A hand-edited document with duplicates: the incoming entry
+        # replaces the last occurrence; the merge itself must not crash.
+        existing = {
+            "manifest": manifest("m0"),
+            "entries": [entry("a", 1.0), entry("a", 2.0)],
+        }
+        doc = merge_bench_document(existing, [entry("a", 9.0)], manifest=manifest("m1"))
+        assert [e["host_seconds"] for e in doc["entries"]] == [1.0, 9.0]
+
+    def test_existing_without_entries_key(self):
+        doc = merge_bench_document(
+            {"manifest": manifest("m0")}, [entry("a", 1.0)], manifest=manifest("m1")
+        )
+        assert doc["entries"] == [entry("a", 1.0)]
+        assert [m["id"] for m in doc["previous_manifests"]] == ["m0"]
+
+    def test_non_mapping_entries_in_existing_are_dropped(self):
+        existing = {
+            "manifest": manifest("m0"),
+            "entries": ["garbage", 42, entry("keep", 1.0)],
+        }
+        doc = merge_bench_document(existing, [], manifest=manifest("m1"))
+        assert doc["entries"] == [entry("keep", 1.0)]
+
+    def test_non_dict_extra_info_survives_merge_and_dump(self, tmp_path):
+        weird = {"kernel": "w", "host_seconds": 1.0, "extra_info": "just a string"}
+        p = tmp_path / "BENCH_repro.json"
+        update_bench_file(p, [weird], manifest=manifest("m1"))
+        doc = update_bench_file(p, [entry("other", 2.0)], manifest=manifest("m2"))
+        assert doc["entries"][0]["extra_info"] == "just a string"
+        assert json.loads(p.read_text())["n_benchmarks"] == 2

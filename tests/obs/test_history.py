@@ -1,0 +1,148 @@
+"""Tests for repro.obs.history: the bench-history ledger and diff/trend."""
+
+import json
+
+import pytest
+
+from repro.obs.history import (
+    HistoryError,
+    append_bench_history,
+    diff_records,
+    format_diff,
+    format_trend,
+    history_record,
+    load_history,
+    select_record,
+    trend_rows,
+)
+
+
+def manifest(mid="m1", sha="abc123", created="2026-08-06T00:00:00Z"):
+    return {"id": mid, "git_sha": sha, "created": created}
+
+
+def record(mid, **kernels):
+    return {
+        "recorded": "2026-08-06T00:00:00Z",
+        "manifest_id": mid,
+        "git_sha": f"sha-{mid}",
+        "n_kernels": len(kernels),
+        "kernels": kernels,
+    }
+
+
+class TestRecordAndAppend:
+    def test_record_shape(self):
+        rec = history_record(
+            [{"kernel": "a", "host_seconds": 1.5}], manifest=manifest()
+        )
+        assert rec["manifest_id"] == "m1" and rec["git_sha"] == "abc123"
+        assert rec["kernels"] == {"a": 1.5} and rec["n_kernels"] == 1
+
+    def test_unusable_entries_skipped(self):
+        rec = history_record(
+            [
+                {"kernel": "ok", "host_seconds": 2.0},
+                {"kernel": "errored", "host_seconds": None},
+                {"kernel": "stringy", "host_seconds": "nan-ish-garbage"},
+                "not-a-mapping",
+            ],
+            manifest=manifest(),
+        )
+        assert rec["kernels"] == {"ok": 2.0}
+
+    def test_append_creates_parents_and_round_trips(self, tmp_path):
+        path = tmp_path / "benchmarks" / "history.jsonl"
+        append_bench_history(path, [{"kernel": "a", "host_seconds": 1.0}],
+                             manifest=manifest("m1"))
+        append_bench_history(path, [{"kernel": "a", "host_seconds": 2.0}],
+                             manifest=manifest("m2"))
+        records = load_history(path)
+        assert [r["manifest_id"] for r in records] == ["m1", "m2"]
+
+    def test_zero_kernel_run_not_appended(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_bench_history(path, [], manifest=manifest())
+        assert not path.exists()
+
+    def test_load_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        good = record("m1", a=1.0)
+        path.write_text("not json\n" + json.dumps(good) + "\n{\"kernels\": 3}\n")
+        assert load_history(path) == [good]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+
+class TestSelect:
+    RECORDS = [record("aaa1", k=1.0), record("bbb2", k=2.0), record("aaa3", k=3.0)]
+
+    def test_aliases_and_indices(self):
+        assert select_record(self.RECORDS, "latest")["manifest_id"] == "aaa3"
+        assert select_record(self.RECORDS, "previous")["manifest_id"] == "bbb2"
+        assert select_record(self.RECORDS, "first")["manifest_id"] == "aaa1"
+        assert select_record(self.RECORDS, "-2")["manifest_id"] == "bbb2"
+        assert select_record(self.RECORDS, "1")["manifest_id"] == "bbb2"
+
+    def test_prefix_match_most_recent_wins(self):
+        assert select_record(self.RECORDS, "aaa")["manifest_id"] == "aaa3"
+        assert select_record(self.RECORDS, "sha-bbb")["manifest_id"] == "bbb2"
+
+    def test_errors(self):
+        with pytest.raises(HistoryError):
+            select_record([], "latest")
+        with pytest.raises(HistoryError):
+            select_record(self.RECORDS, "99")
+        with pytest.raises(HistoryError):
+            select_record(self.RECORDS, "zzz")
+
+
+class TestDiff:
+    def test_percentage_deltas(self):
+        rows = diff_records(record("a", k1=2.0, k2=1.0), record("b", k1=3.0, k2=0.5))
+        by = {r["kernel"]: r for r in rows}
+        assert by["k1"]["delta_pct"] == pytest.approx(50.0)   # 2.0 -> 3.0
+        assert by["k2"]["delta_pct"] == pytest.approx(-50.0)  # 1.0 -> 0.5
+
+    def test_one_sided_kernels_have_no_delta(self):
+        rows = diff_records(record("a", old=1.0), record("b", new=2.0))
+        by = {r["kernel"]: r for r in rows}
+        assert by["old"]["b_seconds"] is None and by["old"]["delta_pct"] is None
+        assert by["new"]["a_seconds"] is None and by["new"]["delta_pct"] is None
+
+    def test_zero_base_has_no_delta(self):
+        rows = diff_records(record("a", k=0.0), record("b", k=1.0))
+        assert rows[0]["delta_pct"] is None
+
+    def test_format_flags_drift(self):
+        a, b = record("a", k=1.0, ok=1.0), record("b", k=2.0, ok=1.01)
+        text = format_diff(a, b, diff_records(a, b), threshold=25.0)
+        assert "+100.0%  !! drift" in text
+        assert "1 beyond ±25% drift threshold" in text
+
+
+class TestTrend:
+    def test_trajectory_first_to_last(self):
+        rows = trend_rows([record("a", k=1.0), record("b", k=1.5), record("c", k=2.0)])
+        assert rows == [
+            {
+                "kernel": "k",
+                "runs": 3,
+                "first_seconds": 1.0,
+                "last_seconds": 2.0,
+                "total_pct": pytest.approx(100.0),
+            }
+        ]
+
+    def test_single_run_has_no_pct(self):
+        rows = trend_rows([record("a", k=1.0)])
+        assert rows[0]["total_pct"] is None
+
+    def test_format_empty_history(self):
+        assert "empty" in format_trend([], [])
+
+    def test_format_table(self):
+        records = [record("a", k=1.0), record("b", k=2.0)]
+        text = format_trend(records, trend_rows(records), threshold=25.0)
+        assert "2 recorded run(s)" in text and "!! drift" in text

@@ -2,7 +2,7 @@
 
 import json
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, snapshot_delta
 
 
 class TestCounter:
@@ -49,9 +49,12 @@ class TestHistogram:
         assert s == {"count": 3, "total": 6.0, "mean": 2.0, "min": 1.0, "max": 3.0}
 
     def test_empty_summary(self):
+        # Well-defined zeros, never ±inf sentinels or None: the summary
+        # feeds straight into JSON artifacts and arithmetic.
         reg = MetricsRegistry()
         s = reg.histogram("empty").summary()
-        assert s["count"] == 0 and s["min"] is None and s["max"] is None
+        assert s == {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        assert reg.histogram("empty").mean == 0.0
 
 
 class TestRegistry:
@@ -81,3 +84,100 @@ class TestRegistry:
         assert snap["counters"] == {"c": 0}
         assert snap["gauges"] == {"g": 0.0}
         assert snap["histograms"]["h"]["count"] == 0
+
+
+class TestMergeSnapshot:
+    def worker_snapshot(self):
+        w = MetricsRegistry()
+        w.inc("connectivity.hops", 10)
+        w.set("memory.peak_bytes", 500.0)
+        w.observe("lat", 1.0)
+        w.observe("lat", 3.0)
+        return w.snapshot()
+
+    def test_counters_add_under_prefix_and_rollup(self):
+        reg = MetricsRegistry()
+        reg.merge_snapshot(self.worker_snapshot(), prefix="worker0", rollup="workers")
+        reg.merge_snapshot(self.worker_snapshot(), prefix="worker1", rollup="workers")
+        snap = reg.snapshot()
+        assert snap["counters"]["worker0.connectivity.hops"] == 10
+        assert snap["counters"]["worker1.connectivity.hops"] == 10
+        assert snap["counters"]["workers.connectivity.hops"] == 20
+
+    def test_gauges_set_under_prefix_max_under_rollup(self):
+        reg = MetricsRegistry()
+        big = self.worker_snapshot()
+        small = {"gauges": {"memory.peak_bytes": 100.0}}
+        reg.merge_snapshot(big, prefix="worker0", rollup="workers")
+        reg.merge_snapshot(small, prefix="worker1", rollup="workers")
+        snap = reg.snapshot()
+        assert snap["gauges"]["worker0.memory.peak_bytes"] == 500.0
+        assert snap["gauges"]["worker1.memory.peak_bytes"] == 100.0
+        # The rollup of a last-value metric is its high-water mark.
+        assert snap["gauges"]["workers.memory.peak_bytes"] == 500.0
+
+    def test_histograms_merge_exactly(self):
+        reg = MetricsRegistry()
+        reg.observe("workers.lat", 10.0)
+        reg.merge_snapshot(self.worker_snapshot(), rollup="workers")
+        s = reg.histogram("workers.lat").summary()
+        assert s["count"] == 3 and s["total"] == 14.0
+        assert s["min"] == 1.0 and s["max"] == 10.0
+
+    def test_no_prefix_no_rollup_merges_in_place(self):
+        reg = MetricsRegistry()
+        reg.inc("connectivity.hops", 5)
+        reg.merge_snapshot(self.worker_snapshot())
+        assert reg.counter("connectivity.hops").value == 15
+
+    def test_empty_histograms_and_zero_counters_skipped(self):
+        reg = MetricsRegistry()
+        reg.merge_snapshot(
+            {"counters": {"c": 0}, "histograms": {"h": {"count": 0}}},
+            prefix="worker0",
+        )
+        snap = reg.snapshot()
+        assert snap["counters"] == {} and snap["histograms"] == {}
+
+
+class TestSnapshotDelta:
+    def test_counter_and_gauge_deltas(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 5)
+        reg.set("g", 1.0)
+        before = reg.snapshot()
+        reg.inc("c", 7)
+        reg.inc("new", 2)
+        reg.set("g", 3.0)
+        delta = snapshot_delta(before, reg.snapshot())
+        assert delta["counters"] == {"c": 7, "new": 2}
+        assert delta["gauges"] == {"g": 3.0}
+
+    def test_unchanged_metrics_absent(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 5)
+        reg.set("g", 1.0)
+        snap = reg.snapshot()
+        delta = snapshot_delta(snap, snap)
+        assert delta == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_histogram_delta_counts_and_totals(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        before = reg.snapshot()
+        reg.observe("h", 4.0)
+        reg.observe("h", 2.0)
+        delta = snapshot_delta(before, reg.snapshot())
+        h = delta["histograms"]["h"]
+        assert h["count"] == 2 and h["total"] == 6.0
+
+    def test_round_trips_through_merge(self):
+        # A worker's delta merged into a fresh registry reproduces exactly
+        # what the worker ticked — the aggregation equality contract.
+        worker = MetricsRegistry()
+        before = worker.snapshot()
+        worker.inc("connectivity.hops", 42)
+        delta = snapshot_delta(before, worker.snapshot())
+        parent = MetricsRegistry()
+        parent.merge_snapshot(delta, prefix="worker0", rollup="workers")
+        assert parent.counter("workers.connectivity.hops").value == 42

@@ -1,0 +1,127 @@
+"""Tests for repro.obs.prof: per-span memory accounting."""
+
+import pytest
+
+from repro import obs
+from repro.obs.prof import (
+    current_memory_profiler,
+    disable_memory_profiling,
+    enable_memory_profiling,
+    measure_block,
+    memory_profiling_enabled,
+    rss_bytes,
+)
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def memprof():
+    profiler = enable_memory_profiling(track_rss=False)
+    yield profiler
+    disable_memory_profiling()
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self):
+        assert not memory_profiling_enabled()
+        assert current_memory_profiler() is None
+
+    def test_enable_is_idempotent(self, memprof):
+        assert enable_memory_profiling() is memprof
+        assert memory_profiling_enabled()
+
+    def test_disable_twice_is_safe(self, memprof):
+        disable_memory_profiling()
+        disable_memory_profiling()
+        assert not memory_profiling_enabled()
+
+
+class TestSpanAttrs:
+    def test_span_gains_memory_attrs(self, memprof, tracer):
+        with obs.span("alloc"):
+            blob = bytearray(4 * MB)
+        del blob
+        attrs = tracer.sink.events[-1]["attrs"]
+        assert attrs["peak_bytes"] >= 4 * MB
+        assert attrs["alloc_bytes"] >= 4 * MB  # blob still live at span exit
+
+    def test_freed_allocation_peaks_but_nets_out(self, memprof, tracer):
+        with obs.span("transient"):
+            blob = bytearray(4 * MB)
+            del blob
+        attrs = tracer.sink.events[-1]["attrs"]
+        assert attrs["peak_bytes"] >= 4 * MB
+        assert attrs["alloc_bytes"] < MB
+
+    def test_parent_peak_covers_child_allocations(self, memprof, tracer):
+        with obs.span("parent"):
+            with obs.span("child"):
+                blob = bytearray(4 * MB)
+                del blob
+        events = {e["name"]: e["attrs"] for e in tracer.sink.events}
+        assert events["child"]["peak_bytes"] >= 4 * MB
+        # The child's transient must be visible in the parent's peak even
+        # though the global counter was reset at the child's entry.
+        assert events["parent"]["peak_bytes"] >= 4 * MB
+
+    def test_sequential_children_fold_into_parent(self, memprof, tracer):
+        with obs.span("parent"):
+            with obs.span("first"):
+                blob = bytearray(4 * MB)
+                del blob
+            with obs.span("second"):
+                pass
+        events = {e["name"]: e["attrs"] for e in tracer.sink.events}
+        assert events["parent"]["peak_bytes"] >= 4 * MB
+        assert events["second"]["peak_bytes"] < MB
+
+    def test_spans_without_profiler_have_no_memory_attrs(self, tracer):
+        with obs.span("plain"):
+            pass
+        assert "peak_bytes" not in tracer.sink.events[-1]["attrs"]
+
+
+class TestMeasuredBlock:
+    def test_inert_without_profiler(self):
+        with measure_block() as mem:
+            bytearray(MB)
+        assert not mem.enabled
+        assert mem.peak_bytes is None and mem.alloc_bytes is None
+        assert mem.meta() == {}
+
+    def test_measures_peak(self, memprof):
+        with measure_block() as mem:
+            blob = bytearray(4 * MB)
+            del blob
+        assert mem.enabled
+        assert mem.peak_bytes >= 4 * MB
+        assert "peak_bytes" in mem.meta()
+
+    def test_participates_in_span_nesting(self, memprof, tracer):
+        with obs.span("outer"):
+            with measure_block() as mem:
+                blob = bytearray(4 * MB)
+                del blob
+        assert mem.peak_bytes >= 4 * MB
+        outer = tracer.sink.events[-1]["attrs"]
+        assert outer["peak_bytes"] >= 4 * MB
+
+    def test_rss_delta_tracked_when_available(self):
+        if rss_bytes() is None:
+            pytest.skip("no /proc/self/statm on this platform")
+        enable_memory_profiling(track_rss=True)
+        try:
+            with measure_block() as mem:
+                blob = bytearray(MB)
+            del blob
+            assert mem.rss_delta_bytes is not None
+        finally:
+            disable_memory_profiling()
+
+
+class TestRssBytes:
+    def test_positive_when_available(self):
+        rss = rss_bytes()
+        if rss is not None:
+            assert rss > 0

@@ -111,3 +111,32 @@ class TestDescribe:
             pass
         text = describe(tracer.sink.events)
         assert "root" in text and "top counters" not in text
+
+
+class TestNumpyThroughFullTracePath:
+    def test_span_attrs_with_numpy_scalars_reach_jsonl(self, tmp_path):
+        # Regression: kernels stamp span attrs with np.int64 / np.bool_
+        # (e.g. sp.set(hops=np.int64(...))); the JSONL sink must coerce
+        # them instead of crashing the whole traced run at emit time.
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        obs.enable_tracing(sink)
+        try:
+            with obs.span(
+                "kernel",
+                n=np.int64(128),
+                identical=np.bool_(True),
+                rate=np.float64(0.5),
+            ) as sp:
+                sp.set(hops=np.int64(7), sizes=np.array([3, 4]))
+        finally:
+            obs.disable_tracing()
+            sink.close()
+        (event,) = read_jsonl(path)
+        assert event["attrs"] == {
+            "n": 128,
+            "identical": True,
+            "rate": 0.5,
+            "hops": 7,
+            "sizes": [3, 4],
+        }

@@ -143,3 +143,118 @@ class TestSimulate:
         path = tmp_path / "g.txt"
         main(["generate", "--scale", "7", "--out", str(path)])
         assert main(["simulate", str(path)]) == 0
+
+
+class TestTraceFlagsAndExporters:
+    WORKLOADS = ["quickstart", "updates", "bfs", "connectivity",
+                 "components", "connectit", "fig08", "fig10"]
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_every_workload_quiet_no_manifest(
+        self, workload, tmp_path, monkeypatch, capsys
+    ):
+        # fig08/fig10 write BENCH_repro.json + benchmarks/history.jsonl
+        # into the cwd; keep that inside the temp dir.
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "trace", workload, "--scale", "8", "--edge-factor", "4",
+            "--updates", "100", "--queries", "400",
+            "--quiet", "--no-manifest", "--out", str(tmp_path / "t.jsonl"),
+        ]) == 0
+        assert capsys.readouterr().out == ""
+        assert (tmp_path / "t.jsonl").exists()
+
+    def test_exported_artifacts_validate(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace, validate_speedscope
+
+        chrome = tmp_path / "c.json"
+        speedscope = tmp_path / "s.json"
+        folded = tmp_path / "f.txt"
+        assert main([
+            "trace", "bfs", "--scale", "8", "--out", str(tmp_path / "t.jsonl"),
+            "--chrome", str(chrome), "--speedscope", str(speedscope),
+            "--folded", str(folded),
+        ]) == 0
+        capsys.readouterr()
+        chrome_doc = json.loads(chrome.read_text())
+        assert validate_chrome_trace(chrome_doc) == []
+        assert chrome_doc["metadata"]["id"]  # run manifest rides along
+        assert validate_speedscope(json.loads(speedscope.read_text())) == []
+        assert any(line.startswith("trace.bfs") for line in
+                   folded.read_text().splitlines())
+
+    def test_memprof_attaches_span_memory(self, tmp_path, capsys):
+        from repro import obs
+        from repro.obs import read_jsonl
+
+        out = tmp_path / "t.jsonl"
+        assert main([
+            "trace", "bfs", "--scale", "8", "--memprof", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        events = read_jsonl(out)
+        assert all("peak_bytes" in e["attrs"] for e in events)
+        # The CLI turns profiling back off before exiting.
+        from repro.obs.prof import memory_profiling_enabled
+        assert not memory_profiling_enabled()
+        assert not obs.tracing_enabled()
+
+    def test_fig08_appends_history(self, tmp_path, monkeypatch, capsys):
+        from repro.obs.history import load_history
+
+        monkeypatch.chdir(tmp_path)
+        for _ in range(2):
+            assert main([
+                "trace", "fig08", "--scale", "8", "--edge-factor", "4",
+                "--queries", "400", "--quiet", "--out", str(tmp_path / "t.jsonl"),
+            ]) == 0
+        capsys.readouterr()
+        records = load_history(tmp_path / "benchmarks" / "history.jsonl")
+        assert len(records) == 2
+        assert all("trace.fig08[scale=8]" in r["kernels"] for r in records)
+
+
+class TestBench:
+    def seed_history(self, path, values):
+        from repro.obs.history import append_bench_history
+
+        for i, v in enumerate(values):
+            append_bench_history(
+                path,
+                [{"kernel": "k", "host_seconds": v}],
+                manifest={"id": f"m{i}", "git_sha": f"sha{i}",
+                          "created": f"2026-08-0{i + 1}T00:00:00Z"},
+            )
+
+    def test_diff_prints_percentage(self, tmp_path, capsys):
+        hist = tmp_path / "history.jsonl"
+        self.seed_history(hist, [1.0, 2.0])
+        assert main(["bench", "diff", "first", "latest",
+                     "--history", str(hist)]) == 0
+        out = capsys.readouterr().out
+        assert "+100.0%" in out and "!! drift" in out
+
+    def test_diff_fail_on_drift(self, tmp_path, capsys):
+        hist = tmp_path / "history.jsonl"
+        self.seed_history(hist, [1.0, 2.0])
+        assert main(["bench", "diff", "0", "-1", "--history", str(hist),
+                     "--fail-on-drift"]) == 1
+        assert main(["bench", "diff", "0", "-1", "--history", str(hist),
+                     "--threshold", "150", "--fail-on-drift"]) == 0
+        capsys.readouterr()
+
+    def test_trend_walks_trajectory(self, tmp_path, capsys):
+        hist = tmp_path / "history.jsonl"
+        self.seed_history(hist, [1.0, 1.1, 1.2])
+        assert main(["bench", "trend", "--history", str(hist)]) == 0
+        out = capsys.readouterr().out
+        assert "3 recorded run(s)" in out and "+20.0%" in out
+
+    def test_empty_history_messages(self, tmp_path, capsys):
+        hist = tmp_path / "none.jsonl"
+        assert main(["bench", "trend", "--history", str(hist)]) == 0
+        assert "empty" in capsys.readouterr().out
+        assert main(["bench", "diff", "0", "1", "--history", str(hist)]) == 2
+        assert "error:" in capsys.readouterr().out
