@@ -12,13 +12,21 @@ traffic" — as a runnable pipeline:
   Hybrid-arr-treap structure is built for — while an incremental
   connectivity index (link-cut forest) stays current;
 * after every batch the monitor answers connectivity questions about
-  watched entity pairs and reports component structure.
+  watched entity pairs and reports component structure;
+* the whole run is *live-instrumented*: per-batch metrics feed the
+  background :class:`~repro.obs.live.TelemetryCollector`, and with
+  ``--serve`` an OpenMetrics endpoint stays up for the duration — point
+  ``python -m repro obs scrape <url> --check`` (or a real Prometheus
+  agent) at it while the firehose runs.
 
-Run:  python examples/streaming_firehose.py
+Run:  python examples/streaming_firehose.py [--serve]
 """
 
 from __future__ import annotations
 
+import sys
+
+from repro import obs
 from repro.core.window import SlidingWindowGraph
 from repro.generators.rmat import rmat_edges
 from repro.util.seeding import make_rng
@@ -31,13 +39,25 @@ TICKS = 24
 WATCHED = [(0, 1), (2, 3), (10, 500)]
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    serve = "--serve" in argv
     n = 1 << SCALE
     rng = make_rng(99)
     monitor = SlidingWindowGraph(
         n, window=WINDOW, representation="hybrid",
         track_connectivity=True, seed=1,
     )
+
+    # Live telemetry: the collector scrapes the metrics the loop below
+    # ticks into windowed time series (rates, p50/p99) as the run goes.
+    obs.METRICS.reset()
+    collector = obs.enable_live_telemetry(interval=0.25)
+    server = None
+    if serve:
+        server = obs.TelemetryServer(collector=collector).start()
+        print(f"live metrics: {server.url}/metrics  (scrape with "
+              f"python -m repro obs scrape {server.url} --check)")
 
     print(f"monitoring {n} entities, window = {WINDOW} ticks x {BATCH} interactions")
     print(f"{'tick':>5} {'edges':>8} {'comps':>6} {'expired':>8} {'mem MB':>7} "
@@ -48,16 +68,34 @@ def main() -> None:
             src, dst = rmat_edges(SCALE, BATCH + 256, seed=rng)
             keep = src != dst
             src, dst = src[keep][:BATCH], dst[keep][:BATCH]
-            expired = monitor.advance(src, dst)
+            with Timer() as batch_t:
+                expired = monitor.advance(src, dst)
             answers = " ".join(
                 "Y" if monitor.connected(u, v) else "." for u, v in WATCHED
             )
+            obs.METRICS.inc("firehose.batches")
+            obs.METRICS.inc("firehose.interactions", len(src))
+            obs.METRICS.inc("firehose.expired", int(expired))
+            obs.METRICS.set("firehose.live_edges", float(monitor.n_edges))
+            obs.METRICS.set("firehose.components", float(monitor.n_components()))
+            obs.METRICS.observe("firehose.batch_seconds", batch_t.elapsed)
             print(
                 f"{tick:>5} {monitor.n_edges:>8} {monitor.n_components():>6} "
                 f"{expired:>8} {monitor.rep.memory_bytes() / 1e6:>7.2f}   {answers}"
             )
 
     monitor.validate()
+    collector.tick()  # final scrape so the summary below sees every batch
+    batch_roll = collector.store.rollup("firehose.batches")
+    lat = obs.METRICS.histogram("firehose.batch_seconds")
+    print(f"\nlive telemetry: {len(collector.store)} series, "
+          f"{collector.n_ticks} scrapes; batch rate p50 "
+          f"{batch_roll.get('p50', 0.0):.1f}/s; batch latency p50 "
+          f"{1e3 * lat.quantile(0.5):.0f}ms p99 {1e3 * lat.quantile(0.99):.0f}ms")
+    if server is not None:
+        print(f"served {server.n_scrapes} scrape(s)")
+        server.stop()
+    obs.disable_live_telemetry()
     assert monitor.n_edges == WINDOW * BATCH
     print(f"\nsteady state: {monitor.n_edges} live edges "
           f"({monitor.rep.n_treap_vertices()} hot vertices in treaps); "

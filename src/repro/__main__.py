@@ -25,8 +25,15 @@ Commands:
 * ``bench`` — inspect the bench-history ledger
   (``benchmarks/history.jsonl``): ``bench diff A B`` prints per-kernel
   deltas between two recorded runs, ``bench trend`` the whole trajectory,
-  both flagging drift beyond ``--threshold`` (and failing the process
-  with ``--fail-on-drift``).
+  both flagging drift beyond ``--threshold``.  Exit codes are distinct
+  and scriptable: **0** clean, **3** drift beyond the threshold (only
+  with ``--fail-on-drift``), **2** usage or ledger errors (unknown run
+  selector, missing/corrupt history);
+* ``obs`` — the live telemetry runtime (docs/OBSERVABILITY.md):
+  ``obs serve`` runs a workload with the background collector on and an
+  OpenMetrics endpoint up, ``obs scrape`` fetches (and with ``--check``
+  structurally validates) a payload from a running endpoint, ``obs top``
+  renders the collector's windowed rollups as a terminal table.
 
 The figure reproductions live under ``python -m repro.experiments``.
 """
@@ -341,6 +348,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro bench`` exit codes (documented in ``--help`` and DOCS).
+BENCH_EXIT_CLEAN = 0
+BENCH_EXIT_USAGE = 2
+BENCH_EXIT_DRIFT = 3
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs.history import (
         HistoryError,
@@ -372,9 +385,105 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ]
     except HistoryError as exc:
         print(f"error: {exc}")
-        return 2
+        return BENCH_EXIT_USAGE
     if args.fail_on_drift and drifted:
-        return 1
+        return BENCH_EXIT_DRIFT
+    return BENCH_EXIT_CLEAN
+
+
+def _metrics_url(base: str) -> str:
+    """Normalise ``obs scrape``/``top`` targets to concrete endpoints."""
+    base = base.rstrip("/")
+    return base if base.endswith(("/metrics", "/metrics.json")) else base + "/metrics"
+
+
+def cmd_obs_serve(args: argparse.Namespace) -> int:
+    """Run a workload with the live collector on and an HTTP endpoint up.
+
+    The workload repeats until ``--duration`` elapses (0 = one round), so
+    an external scraper — CI, ``repro obs scrape``, a Prometheus agent —
+    has a live process to poll.  ``--url-file`` publishes the bound URL
+    (useful with ``--port 0``) once the server is accepting requests.
+    """
+    import time as time_mod
+
+    from repro import obs
+
+    obs.METRICS.reset()
+    collector = obs.enable_live_telemetry(interval=args.interval)
+    server = obs.TelemetryServer(collector=collector, host=args.host, port=args.port)
+    server.start()
+    if args.url_file:
+        Path(args.url_file).write_text(server.url + "\n")
+    _say(args, f"serving live telemetry on {server.url} "
+               f"(collector interval {args.interval}s)")
+    backend = _resolve_trace_backend(args)
+    deadline = time_mod.monotonic() + args.duration
+    rounds = 0
+    try:
+        while True:
+            _trace_workload(args, backend)
+            rounds += 1
+            obs.METRICS.inc("obs.serve.workload_rounds")
+            if time_mod.monotonic() >= deadline:
+                break
+    finally:
+        backend.close()
+        collector.tick()  # final scrape so short runs still fill windows
+        _say(args, f"ran {rounds} workload round(s); "
+                   f"served {server.n_scrapes} scrape(s); "
+                   f"{len(collector.store)} series collected")
+        server.stop()
+        obs.disable_live_telemetry()
+    return 0
+
+
+def cmd_obs_scrape(args: argparse.Namespace) -> int:
+    """One-shot scrape of a running endpoint; optionally validate/save it."""
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.expose import validate_openmetrics
+
+    url = _metrics_url(args.url)
+    try:
+        body = urllib.request.urlopen(url, timeout=args.timeout).read().decode()
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: scrape of {url} failed: {exc}")
+        return 2
+    if args.out:
+        Path(args.out).write_text(body)
+        _say(args, f"wrote {len(body)} bytes -> {args.out}")
+    else:
+        print(body, end="")
+    if args.check:
+        try:
+            stats = validate_openmetrics(body)
+        except ValueError as exc:
+            print(f"error: invalid OpenMetrics payload: {exc}")
+            return 1
+        _say(args, f"payload valid: {stats['n_families']} families, "
+                   f"{stats['n_samples']} samples")
+    return 0
+
+
+def cmd_obs_top(args: argparse.Namespace) -> int:
+    """Render a running collector's windowed rollups as a terminal table."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.expose import format_rollups
+
+    url = args.url.rstrip("/") + "/metrics.json"
+    try:
+        payload = json.loads(
+            urllib.request.urlopen(url, timeout=args.timeout).read().decode()
+        )
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"error: fetch of {url} failed: {exc}")
+        return 2
+    print(format_rollups(payload.get("rollups", {}), top=args.top))
     return 0
 
 
@@ -471,8 +580,65 @@ def build_parser() -> argparse.ArgumentParser:
         bp.add_argument("--threshold", type=float, default=25.0,
                         help="drift flag threshold in %% (default: 25)")
         bp.add_argument("--fail-on-drift", action="store_true",
-                        help="exit 1 when any kernel drifts beyond the threshold")
+                        help="exit 3 when any kernel drifts beyond the threshold "
+                             "(0 = clean, 2 = usage/ledger error)")
         bp.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "obs", help="live telemetry: serve/scrape/inspect OpenMetrics endpoints"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    sp = obs_sub.add_parser(
+        "serve", help="run a workload with the collector on and /metrics up"
+    )
+    sp.add_argument("workload", nargs="?", default="quickstart",
+                    choices=["quickstart", "updates", "bfs", "connectivity",
+                             "components", "connectit"])
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=0,
+                    help="TCP port (default 0 = ephemeral; see --url-file)")
+    sp.add_argument("--url-file", default=None, metavar="PATH",
+                    help="write the bound base URL here once serving")
+    sp.add_argument("--interval", type=float, default=0.25,
+                    help="collector scrape interval in seconds (default: 0.25)")
+    sp.add_argument("--duration", type=float, default=0.0,
+                    help="keep repeating the workload for this many seconds "
+                         "(default: 0 = a single round)")
+    sp.add_argument("--scale", type=int, default=11, help="n = 2^scale")
+    sp.add_argument("--edge-factor", type=int, default=8)
+    sp.add_argument("--updates", type=int, default=2000)
+    sp.add_argument("--queries", type=int, default=10_000)
+    sp.add_argument("--representation", default="hybrid",
+                    choices=["dynarr", "dynarr-nr", "treap", "hybrid", "vpart",
+                             "epart", "batched"])
+    sp.add_argument("--machine", default="t2", choices=["t1", "t2", "power570"])
+    sp.add_argument("--backend", default="serial", choices=["serial", "process"])
+    sp.add_argument("--workers", type=int, default=None)
+    sp.add_argument("--seed", type=int, default=1)
+    sp.add_argument("--quiet", "-q", action="store_true")
+    sp.set_defaults(fn=cmd_obs_serve)
+
+    sp = obs_sub.add_parser(
+        "scrape", help="fetch one OpenMetrics payload from a running endpoint"
+    )
+    sp.add_argument("url", help="endpoint base URL (or .../metrics)")
+    sp.add_argument("--check", action="store_true",
+                    help="structurally validate the payload (exit 1 if invalid)")
+    sp.add_argument("--out", default=None, metavar="PATH",
+                    help="write the payload here instead of stdout")
+    sp.add_argument("--timeout", type=float, default=10.0)
+    sp.add_argument("--quiet", "-q", action="store_true")
+    sp.set_defaults(fn=cmd_obs_scrape)
+
+    sp = obs_sub.add_parser(
+        "top", help="windowed rollups of a running collector, as a table"
+    )
+    sp.add_argument("url", help="endpoint base URL")
+    sp.add_argument("--top", type=int, default=0,
+                    help="show only the N busiest series (default: all)")
+    sp.add_argument("--timeout", type=float, default=10.0)
+    sp.set_defaults(fn=cmd_obs_top)
 
     p = sub.add_parser("simulate", help="sweep a workload on a simulated machine")
     p.add_argument("graph")

@@ -14,7 +14,11 @@ machine-independent work accounting in :mod:`repro.machine.profile` (see
 * :mod:`repro.obs.export` — Chrome-trace / speedscope / folded-stack
   exporters over recorded span streams;
 * :mod:`repro.obs.history` — the append-only bench-history ledger behind
-  ``python -m repro bench diff/trend``.
+  ``python -m repro bench diff/trend``;
+* :mod:`repro.obs.live` — background telemetry collector (ring-buffer
+  time series with windowed rollups) and the worker watchdog;
+* :mod:`repro.obs.expose` — OpenMetrics text exposition, payload
+  validator and the ``repro obs serve`` HTTP endpoint.
 
 Typical use (what ``python -m repro trace`` does):
 
@@ -43,6 +47,15 @@ from repro.obs.export import (
     write_folded,
     write_speedscope,
 )
+from repro.obs.expose import TelemetryServer, to_openmetrics, validate_openmetrics
+from repro.obs.live import (
+    TelemetryCollector,
+    Watchdog,
+    current_collector,
+    disable_live_telemetry,
+    enable_live_telemetry,
+    live_telemetry_enabled,
+)
 from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.prof import (
     MemoryProfiler,
@@ -52,12 +65,21 @@ from repro.obs.prof import (
     measure_block,
     memory_profiling_enabled,
 )
-from repro.obs.sink import JsonlSink, MemorySink, TeeSink, TraceSink, describe, read_jsonl
+from repro.obs.sink import (
+    JsonlSink,
+    MemorySink,
+    TeeSink,
+    TraceSink,
+    alerts,
+    describe,
+    read_jsonl,
+)
 from repro.obs.trace import (
     Span,
     Tracer,
     current_tracer,
     disable_tracing,
+    emit_event,
     enable_tracing,
     format_span_tree,
     span,
@@ -81,15 +103,26 @@ __all__ = [
     "JsonlSink",
     "TeeSink",
     "describe",
+    "alerts",
     "read_jsonl",
     "Span",
     "Tracer",
     "span",
+    "emit_event",
     "enable_tracing",
     "disable_tracing",
     "tracing_enabled",
     "current_tracer",
     "format_span_tree",
+    "TelemetryCollector",
+    "Watchdog",
+    "enable_live_telemetry",
+    "disable_live_telemetry",
+    "live_telemetry_enabled",
+    "current_collector",
+    "TelemetryServer",
+    "to_openmetrics",
+    "validate_openmetrics",
     "MemoryProfiler",
     "enable_memory_profiling",
     "disable_memory_profiling",

@@ -1,0 +1,364 @@
+"""OpenMetrics text exposition for the live telemetry runtime.
+
+Three layers, mirroring how :mod:`repro.obs.export` treats traces:
+
+* :func:`to_openmetrics` — render a
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot as OpenMetrics
+  text (the Prometheus exposition format): counters as ``_total``
+  samples, gauges verbatim, histograms as summaries with interpolated
+  p50/p99 quantile samples, terminated by the mandatory ``# EOF``;
+* :func:`validate_openmetrics` — a structural checker in the spirit of
+  :func:`~repro.obs.export.validate_chrome_trace`: it parses the payload
+  back, enforces the format's invariants (declared families, sample
+  naming rules, single EOF) and raises ``ValueError`` naming the first
+  violation, so CI can assert a scrape is well-formed without a
+  Prometheus binary in the container;
+* :class:`TelemetryServer` — a stdlib ``ThreadingHTTPServer`` exposing
+  ``/metrics`` (OpenMetrics), ``/metrics.json`` (raw snapshot plus the
+  collector's windowed rollups) and ``/healthz``, used by
+  ``repro obs serve``.
+
+Only the Python standard library is used — no prometheus_client, no new
+dependencies.
+
+>>> from repro.obs.expose import to_openmetrics, validate_openmetrics
+>>> from repro.obs.metrics import MetricsRegistry
+>>> reg = MetricsRegistry()
+>>> reg.inc("updates.applied", 42)
+>>> text = to_openmetrics(reg)
+>>> print(text, end="")
+# TYPE updates_applied counter
+updates_applied_total 42
+# EOF
+>>> validate_openmetrics(text)["n_families"]
+1
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.live import TelemetryCollector
+
+__all__ = [
+    "to_openmetrics",
+    "validate_openmetrics",
+    "format_rollups",
+    "TelemetryServer",
+    "CONTENT_TYPE",
+]
+
+#: Content type advertised for ``/metrics`` responses.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+#: Quantiles exposed per histogram, matching the rollup columns.
+_QUANTILES = (0.5, 0.99)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: ``sample-name suffix -> family type`` rules the validator enforces.
+_SUFFIX_BY_TYPE = {"counter": ("_total",), "summary": ("_count", "_sum", "")}
+
+
+def _sanitize(name: str) -> str:
+    """Map a dotted repro metric name onto the OpenMetrics charset."""
+    out = _SANITIZE_RE.sub("_", name)
+    if not out or not _NAME_RE.match(out):
+        out = "_" + out
+    return out
+
+
+def _fmt_value(v: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    f = float(v)
+    return str(int(f)) if f == int(f) and abs(f) < 1e15 else repr(f)
+
+
+def to_openmetrics(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render the registry's current state as OpenMetrics text.
+
+    Counters become ``<name>_total`` samples under a ``counter`` family,
+    gauges are exposed verbatim, histograms become ``summary`` families
+    with ``quantile="0.5"``/``quantile="0.99"`` samples (linearly
+    interpolated from the shared bucket ladder), ``_count`` and ``_sum``.
+    Dotted names are mapped to underscores; on the (pathological) event
+    of two dotted names colliding after sanitisation, the first one wins
+    and later ones are skipped so each family is declared exactly once.
+    """
+    reg = registry if registry is not None else METRICS
+    snap = reg.snapshot()
+    lines: list[str] = []
+    seen: set[str] = set()
+
+    for name in sorted(snap["counters"]):
+        om = _sanitize(name)
+        if om in seen:
+            continue
+        seen.add(om)
+        lines.append(f"# TYPE {om} counter")
+        lines.append(f"{om}_total {_fmt_value(snap['counters'][name])}")
+
+    for name in sorted(snap["gauges"]):
+        om = _sanitize(name)
+        if om in seen:
+            continue
+        seen.add(om)
+        lines.append(f"# TYPE {om} gauge")
+        lines.append(f"{om} {_fmt_value(snap['gauges'][name])}")
+
+    for name in sorted(snap["histograms"]):
+        om = _sanitize(name)
+        if om in seen:
+            continue
+        seen.add(om)
+        summary = snap["histograms"][name]
+        lines.append(f"# TYPE {om} summary")
+        h = reg.histogram(name)
+        for q in _QUANTILES:
+            lines.append(f'{om}{{quantile="{q}"}} {_fmt_value(h.quantile(q))}')
+        lines.append(f"{om}_count {_fmt_value(summary.get('count', 0))}")
+        lines.append(f"{om}_sum {_fmt_value(summary.get('total', 0.0))}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: \S+)?\Z"
+)
+
+
+def validate_openmetrics(text: str) -> dict[str, Any]:
+    """Structurally validate an OpenMetrics payload; returns summary stats.
+
+    Raises ``ValueError`` naming the first violation.  Enforced:
+
+    * the payload is non-empty and its final line is exactly ``# EOF``
+      (appearing once, at the end);
+    * every ``# TYPE`` line declares a valid family name and a known
+      type, at most once per family;
+    * every sample line parses as ``name[{labels}] value`` with a finite
+      float value;
+    * every sample belongs to a previously declared family, and its
+      suffix matches the family type (``counter`` samples must use
+      ``_total``; ``summary`` samples must be ``_count``, ``_sum`` or a
+      bare ``quantile``-labelled sample).
+
+    Returns ``{"n_families": ..., "n_samples": ..., "types": {...}}``.
+    """
+    if not text.strip():
+        raise ValueError("empty payload")
+    lines = text.splitlines()
+    if lines[-1] != "# EOF":
+        raise ValueError("payload must end with '# EOF'")
+    if lines.count("# EOF") != 1:
+        raise ValueError("'# EOF' must appear exactly once")
+
+    families: dict[str, str] = {}
+    n_samples = 0
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if not line:
+            raise ValueError(f"line {lineno}: blank line")
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line: {line!r}")
+            _, _, fam, ftype = parts
+            if not _NAME_RE.match(fam):
+                raise ValueError(f"line {lineno}: invalid family name {fam!r}")
+            if ftype not in ("counter", "gauge", "summary", "histogram", "unknown"):
+                raise ValueError(f"line {lineno}: unknown family type {ftype!r}")
+            if fam in families:
+                raise ValueError(f"line {lineno}: family {fam!r} declared twice")
+            families[fam] = ftype
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT comments are legal and unchecked
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {line!r}")
+        name = m.group("name")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            raise ValueError(f"line {lineno}: non-numeric value: {line!r}") from None
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"line {lineno}: non-finite value: {line!r}")
+        fam, ftype = _resolve_family(name, families)
+        if fam is None or ftype is None:
+            raise ValueError(f"line {lineno}: sample {name!r} has no declared family")
+        if ftype == "counter" and not name.endswith("_total"):
+            raise ValueError(f"line {lineno}: counter sample {name!r} must end '_total'")
+        if ftype == "summary" and name == fam and "quantile=" not in (m.group("labels") or ""):
+            raise ValueError(f"line {lineno}: summary sample {name!r} needs a quantile label")
+        n_samples += 1
+
+    if not families:
+        raise ValueError("no metric families declared")
+    return {
+        "n_families": len(families),
+        "n_samples": n_samples,
+        "types": dict(families),
+    }
+
+
+def _resolve_family(
+    sample: str, families: dict[str, str]
+) -> tuple[Optional[str], Optional[str]]:
+    """Match a sample name to its declared family per suffix rules."""
+    for suffix in ("_total", "_count", "_sum", "_bucket", ""):
+        if suffix and not sample.endswith(suffix):
+            continue
+        fam = sample[: len(sample) - len(suffix)] if suffix else sample
+        ftype = families.get(fam)
+        if ftype is not None:
+            return fam, ftype
+    return None, None
+
+
+def format_rollups(rollups: dict[str, dict[str, Any]], *, top: int = 0) -> str:
+    """Render collector rollups as an aligned terminal table.
+
+    Counters show their windowed rate statistics (per second), gauges
+    their level statistics.  ``top`` > 0 keeps only the busiest series
+    (by last value); 0 shows everything in first-seen order.
+    """
+    rows = list(rollups.items())
+    if top > 0:
+        rows.sort(key=lambda kv: float(kv[1].get("last", 0.0)), reverse=True)
+        rows = rows[:top]
+    if not rows:
+        return "(no series collected)"
+    width = max(len(name) for name, _ in rows)
+    header = (
+        f"{'metric'.ljust(width)}  {'kind':>7} {'last':>12} "
+        f"{'mean':>10} {'p50':>10} {'p99':>10} {'max':>10}"
+    )
+    lines = [header]
+    for name, r in rows:
+        lines.append(
+            f"{name.ljust(width)}  {r.get('kind', '?'):>7} "
+            f"{_fmt_cell(r.get('last', 0))!s:>12} "
+            f"{_fmt_cell(r.get('mean', 0)):>10} {_fmt_cell(r.get('p50', 0)):>10} "
+            f"{_fmt_cell(r.get('p99', 0)):>10} {_fmt_cell(r.get('max', 0)):>10}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt_cell(v: Any) -> str:
+    f = float(v)
+    if f == int(f) and abs(f) < 1e9:
+        return f"{int(f):,}"
+    return f"{f:,.3f}" if abs(f) >= 0.001 else f"{f:.3g}"
+
+
+class TelemetryServer:
+    """Threaded HTTP server exposing live metrics (``repro obs serve``).
+
+    Routes:
+
+    * ``GET /metrics`` — OpenMetrics payload from the registry;
+    * ``GET /metrics.json`` — JSON: raw registry snapshot plus the
+      collector's windowed rollups (when a collector is attached);
+    * ``GET /healthz`` — liveness probe (``ok``).
+
+    ``port=0`` binds an ephemeral port; :attr:`url` reports the bound
+    address.  The server runs on a daemon thread and never blocks the
+    workload it observes.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        collector: "Optional[TelemetryCollector]" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry if registry is not None else METRICS
+        self.collector = collector
+        self.n_scrapes = 0
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A002
+                pass  # quiet: the workload's stdout is the product
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path == "/metrics":
+                    server.n_scrapes += 1
+                    body = to_openmetrics(server.registry).encode()
+                    self._reply(200, CONTENT_TYPE, body)
+                elif self.path == "/metrics.json":
+                    server.n_scrapes += 1
+                    payload: dict[str, Any] = {
+                        "snapshot": server.registry.snapshot(),
+                        "rollups": (
+                            server.collector.store.rollups()
+                            if server.collector is not None
+                            else {}
+                        ),
+                    }
+                    body = json.dumps(payload, sort_keys=True).encode()
+                    self._reply(200, "application/json", body)
+                elif self.path == "/healthz":
+                    self._reply(200, "text/plain", b"ok\n")
+                else:
+                    self._reply(404, "text/plain", b"not found\n")
+
+            def _reply(self, code: int, ctype: str, body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        """Serve on a daemon thread (idempotent; returns ``self``)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-telemetry-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and release the socket."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

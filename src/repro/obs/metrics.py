@@ -22,6 +22,8 @@ Design points:
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left
 from threading import Lock
 
 __all__ = [
@@ -31,7 +33,55 @@ __all__ = [
     "MetricsRegistry",
     "METRICS",
     "snapshot_delta",
+    "BUCKET_BOUNDS",
 ]
+
+#: Geometric bucket ladder shared by every histogram: half-octave steps
+#: (factor √2) from 100 ns up to ~1.2e9, which covers both the duration
+#: metrics (seconds) and the count-valued ones (arc ops, hops) the kernels
+#: observe.  Values at or below the first bound share bucket 0, values
+#: above the last share the overflow bucket; the observed min/max tighten
+#: the edge buckets during interpolation, so outliers stay representable.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    1e-7 * math.sqrt(2.0) ** i for i in range(108)
+)
+
+#: Bucket count = one per bound plus the overflow bucket.
+_N_BUCKETS = len(BUCKET_BOUNDS) + 1
+
+
+def interpolated_quantile(
+    buckets: list[int], count: int, vmin: float, vmax: float, q: float
+) -> float:
+    """Quantile ``q`` from bucket counts, linearly interpolated within buckets.
+
+    Earlier revisions snapped a quantile to the upper bound of the bucket
+    holding its rank, which made p50/p99 step functions of the bucket
+    ladder — visibly wrong once rollups surfaced them live.  Here the
+    target rank is placed *proportionally* between the bucket's bounds
+    (the edge buckets are clamped to the observed ``vmin``/``vmax``), so
+    a uniform distribution reports quantiles within a bucket's resolution
+    of the exact answer instead of up to a full bucket off.
+    """
+    if count <= 0:
+        return 0.0
+    q = min(max(q, 0.0), 1.0)
+    target = q * count
+    cum = 0
+    for i, n in enumerate(buckets):
+        if not n:
+            continue
+        if cum + n >= target:
+            lo = vmin if i == 0 else BUCKET_BOUNDS[i - 1]
+            hi = vmax if i >= len(BUCKET_BOUNDS) else BUCKET_BOUNDS[i]
+            lo = max(lo, vmin)
+            hi = min(hi, vmax)
+            if hi < lo:
+                hi = lo
+            frac = (target - cum) / n
+            return min(max(lo + (hi - lo) * frac, vmin), vmax)
+        cum += n
+    return vmax
 
 
 class Counter:
@@ -67,14 +117,18 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values: count / total / min / max.
+    """Streaming summary of observed values with bucketed quantiles.
 
-    Deliberately bucket-free — the library's distributions (probe lengths,
-    span durations) are analysed offline from traces; the in-process
-    histogram only answers "how many, how much, how extreme".
+    Tracks count / total / min / max exactly plus per-bucket counts on the
+    shared geometric ladder (:data:`BUCKET_BOUNDS`), from which
+    :meth:`quantile` reports linearly interpolated p50/p99-style
+    estimates — the resolution the live telemetry rollups surface.  The
+    raw distributions are still analysed offline from traces; the
+    in-process histogram answers "how many, how much, how extreme, and
+    roughly where the mass sits".
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -88,16 +142,24 @@ class Histogram:
             self.min = v
         if v > self.max:
             self.max = v
+        self.buckets[bisect_left(BUCKET_BOUNDS, v)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile in ``[min, max]`` (0.0 when empty)."""
+        if not self.count:
+            return 0.0
+        return interpolated_quantile(self.buckets, self.count, self.min, self.max, q)
 
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.buckets: list[int] = [0] * _N_BUCKETS
 
     def summary(self) -> dict:
         """JSON-safe summary; an empty histogram reports well-defined zeros.
@@ -105,7 +167,10 @@ class Histogram:
         ``min``/``max`` are ``±inf`` sentinels internally while empty;
         leaking them would put non-finite floats (or ``NaN`` via
         arithmetic on them) into JSON artifacts, so the empty summary
-        pins every field to zero instead.
+        pins every field to zero instead.  Non-empty summaries carry the
+        interpolated ``p50``/``p99`` plus the raw bucket counts so
+        summaries merge across processes without losing quantile
+        resolution.
         """
         if not self.count:
             return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
@@ -115,6 +180,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "buckets": list(self.buckets),
         }
 
 
@@ -222,12 +290,24 @@ class MetricsRegistry:
             count = int(summary.get("count", 0))
             if not count:
                 continue
+            buckets = summary.get("buckets")
             for name in names(base):
                 h = self.histogram(name)
                 h.count += count
                 h.total += float(summary.get("total", 0.0))
                 h.min = min(h.min, float(summary.get("min", 0.0)))
                 h.max = max(h.max, float(summary.get("max", 0.0)))
+                if isinstance(buckets, list):
+                    for i, n in enumerate(buckets[: len(h.buckets)]):
+                        if n:
+                            h.buckets[i] += int(n)
+                else:
+                    # A summary without bucket data (older artifact):
+                    # attribute its mass to the bucket of its mean so the
+                    # merged quantiles stay defined, if coarsely.
+                    h.buckets[
+                        bisect_left(BUCKET_BOUNDS, float(summary.get("total", 0.0)) / count)
+                    ] += count
 
     def reset(self) -> None:
         """Zero every metric (names stay registered)."""
@@ -268,12 +348,20 @@ def snapshot_delta(before: dict, after: dict) -> dict:
         prior = before_h.get(name, {})
         count = int(summary.get("count", 0)) - int(prior.get("count", 0))
         if count > 0:
-            histograms[name] = {
+            entry = {
                 "count": count,
                 "total": float(summary.get("total", 0.0)) - float(prior.get("total", 0.0)),
                 "min": summary.get("min", 0.0),
                 "max": summary.get("max", 0.0),
             }
+            after_b = summary.get("buckets")
+            if isinstance(after_b, list):
+                prior_b = prior.get("buckets") or [0] * len(after_b)
+                entry["buckets"] = [
+                    max(0, int(a) - int(b))
+                    for a, b in zip(after_b, list(prior_b) + [0] * len(after_b))
+                ]
+            histograms[name] = entry
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 

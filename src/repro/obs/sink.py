@@ -28,7 +28,15 @@ from repro.util.jsonify import jsonify
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["TraceSink", "MemorySink", "JsonlSink", "TeeSink", "read_jsonl", "describe"]
+__all__ = [
+    "TraceSink",
+    "MemorySink",
+    "JsonlSink",
+    "TeeSink",
+    "read_jsonl",
+    "describe",
+    "alerts",
+]
 
 
 class TraceSink:
@@ -117,20 +125,36 @@ def read_jsonl(path: str | Path) -> list[dict]:
     return events
 
 
+def alerts(events: Iterable[dict]) -> list[dict]:
+    """The watchdog alert events of a stream (``type == "alert"``)."""
+    return [e for e in events if e.get("type") == "alert"]
+
+
 def describe(
     events: Iterable[dict],
     *,
     metrics: "MetricsRegistry | None" = None,
     top: int = 12,
 ) -> str:
-    """Human-readable run summary: span tree plus the busiest counters.
+    """Human-readable run summary: span tree, alerts, busiest counters.
 
     ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry` (or None to
-    skip the counter section).
+    skip the counter section).  Watchdog alert events, when present in the
+    stream, are listed between the tree and the counters — a run that
+    tripped the watchdog should not look clean at a glance.
     """
     from repro.obs.trace import format_span_tree
 
+    events = list(events)
     lines = [format_span_tree(events)]
+    flagged = alerts(events)
+    if flagged:
+        lines.append("")
+        lines.append(f"-- alerts ({len(flagged)}) --")
+        for e in flagged:
+            attrs = e.get("attrs", {})
+            detail = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+            lines.append(f"  {e.get('name', '?')}  {detail}")
     if metrics is not None:
         ranked = metrics.top_counters(top)
         if ranked:

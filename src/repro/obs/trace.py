@@ -39,6 +39,7 @@ __all__ = [
     "Span",
     "Tracer",
     "span",
+    "emit_event",
     "enable_tracing",
     "disable_tracing",
     "tracing_enabled",
@@ -177,6 +178,27 @@ class Tracer:
         self.n_events += 1
         self.sink.emit(event)
 
+    def emit_event(self, name: str, *, type: str = "event", **fields: object) -> dict:
+        """Emit a non-span event (watchdog alerts, lifecycle markers).
+
+        The event shares the stream with spans but carries its own
+        ``type`` so span consumers (:func:`format_span_tree`, the
+        exporters) skip it while JSONL/describe readers can surface it.
+        It is stamped with the current monotonic clock and, when the
+        tracer carries one, the run-manifest id.
+        """
+        event: dict = {
+            "type": type,
+            "name": name,
+            "t_start": time.perf_counter(),
+            "attrs": dict(fields),
+        }
+        if self.manifest is not None:
+            event["manifest_id"] = self.manifest.id
+        self.n_events += 1
+        self.sink.emit(event)
+        return event
+
 
 #: The process-wide tracer (None = tracing disabled).
 _TRACER: Tracer | None = None
@@ -211,6 +233,14 @@ def span(name: str, **attrs: object) -> "Span | _NullSpan":
     if t is None:
         return _NULL_SPAN
     return t.span(name, **attrs)
+
+
+def emit_event(name: str, *, type: str = "event", **fields: object) -> dict | None:
+    """Emit a non-span event on the process tracer (None when disabled)."""
+    t = _TRACER
+    if t is None:
+        return None
+    return t.emit_event(name, type=type, **fields)
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,157 @@
+"""Tests for repro.obs.expose: OpenMetrics rendering, validation, HTTP."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.expose import (
+    TelemetryServer,
+    format_rollups,
+    to_openmetrics,
+    validate_openmetrics,
+)
+from repro.obs.live import TelemetryCollector
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry():
+    reg = MetricsRegistry()
+    reg.inc("updates.applied", 42)
+    reg.set("memory.rss_bytes", 1024.0)
+    for v in (0.1, 0.2, 0.4):
+        reg.observe("lat.seconds", v)
+    return reg
+
+
+class TestToOpenMetrics:
+    def test_counter_gauge_summary_families(self):
+        text = to_openmetrics(populated_registry())
+        assert "# TYPE updates_applied counter" in text
+        assert "updates_applied_total 42" in text
+        assert "# TYPE memory_rss_bytes gauge" in text
+        assert "memory_rss_bytes 1024" in text
+        assert "# TYPE lat_seconds summary" in text
+        assert 'lat_seconds{quantile="0.5"}' in text
+        assert "lat_seconds_count 3" in text
+        assert text.endswith("# EOF\n")
+
+    def test_dotted_names_sanitised(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b-c.d", 1)
+        assert "a_b_c_d_total 1" in to_openmetrics(reg)
+
+    def test_empty_registry_is_still_terminated(self):
+        assert to_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+    def test_payload_always_validates(self):
+        stats = validate_openmetrics(to_openmetrics(populated_registry()))
+        assert stats["n_families"] == 3
+        assert stats["types"]["updates_applied"] == "counter"
+        assert stats["types"]["lat_seconds"] == "summary"
+        # counter + gauge + 2 quantiles + _count + _sum
+        assert stats["n_samples"] == 6
+
+
+class TestValidateOpenMetrics:
+    def test_rejects_empty_and_unterminated(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_openmetrics("")
+        with pytest.raises(ValueError, match="# EOF"):
+            validate_openmetrics("# TYPE a counter\na_total 1\n")
+
+    def test_rejects_double_eof(self):
+        with pytest.raises(ValueError, match="exactly once"):
+            validate_openmetrics("# EOF\n# EOF\n")
+
+    def test_rejects_sample_without_family(self):
+        with pytest.raises(ValueError, match="no declared family"):
+            validate_openmetrics("orphan_total 1\n# EOF\n")
+
+    def test_rejects_counter_sample_without_total_suffix(self):
+        with pytest.raises(ValueError, match="_total"):
+            validate_openmetrics("# TYPE a counter\na 1\n# EOF\n")
+
+    def test_rejects_non_numeric_and_non_finite_values(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            validate_openmetrics("# TYPE g gauge\ng up\n# EOF\n")
+        with pytest.raises(ValueError, match="non-finite"):
+            validate_openmetrics("# TYPE g gauge\ng nan\n# EOF\n")
+
+    def test_rejects_duplicate_family_and_blank_line(self):
+        with pytest.raises(ValueError, match="declared twice"):
+            validate_openmetrics("# TYPE g gauge\n# TYPE g gauge\ng 1\n# EOF\n")
+        with pytest.raises(ValueError, match="blank line"):
+            validate_openmetrics("# TYPE g gauge\n\ng 1\n# EOF\n")
+
+    def test_rejects_bare_summary_sample_without_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            validate_openmetrics("# TYPE s summary\ns 1\n# EOF\n")
+
+    def test_accepts_labels_and_help_comments(self):
+        stats = validate_openmetrics(
+            "# TYPE s summary\n"
+            "# HELP s latency\n"
+            's{quantile="0.5"} 0.25\n'
+            "s_count 10\n"
+            "s_sum 2.5\n"
+            "# EOF\n"
+        )
+        assert stats == {"n_families": 1, "n_samples": 3, "types": {"s": "summary"}}
+
+
+class TestFormatRollups:
+    def test_table_has_header_and_rows(self):
+        out = format_rollups({
+            "a": {"kind": "counter", "last": 10, "mean": 5.0, "p50": 5.0,
+                  "p99": 9.0, "max": 9.5},
+        })
+        assert "metric" in out and "p99" in out and "a" in out
+
+    def test_top_keeps_busiest(self):
+        rollups = {
+            "small": {"kind": "counter", "last": 1},
+            "big": {"kind": "counter", "last": 1000},
+        }
+        out = format_rollups(rollups, top=1)
+        assert "big" in out and "small" not in out
+
+    def test_empty(self):
+        assert format_rollups({}) == "(no series collected)"
+
+
+class TestTelemetryServer:
+    def test_metrics_endpoint_serves_valid_payload(self):
+        reg = populated_registry()
+        with TelemetryServer(reg) as server:
+            assert server.port > 0
+            body = urllib.request.urlopen(server.url + "/metrics").read().decode()
+        assert validate_openmetrics(body)["n_families"] == 3
+        assert server.n_scrapes == 1
+
+    def test_metrics_json_includes_rollups(self):
+        reg = populated_registry()
+        col = TelemetryCollector(reg, interval=3600)
+        col.tick(now=0.0)
+        with TelemetryServer(reg, collector=col) as server:
+            payload = json.loads(
+                urllib.request.urlopen(server.url + "/metrics.json").read()
+            )
+        assert payload["snapshot"]["counters"]["updates.applied"] == 42
+        assert payload["rollups"]["updates.applied"]["kind"] == "counter"
+
+    def test_healthz_and_404(self):
+        with TelemetryServer(MetricsRegistry()) as server:
+            ok = urllib.request.urlopen(server.url + "/healthz").read()
+            assert ok == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(server.url + "/nope")
+            assert exc.value.code == 404
+
+    def test_stop_releases_socket(self):
+        server = TelemetryServer(MetricsRegistry()).start()
+        url = server.url
+        server.stop()
+        with pytest.raises((urllib.error.URLError, OSError)):
+            urllib.request.urlopen(url + "/healthz", timeout=0.5)

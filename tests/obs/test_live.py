@@ -1,0 +1,234 @@
+"""Tests for repro.obs.live: collector, time-series windows, watchdog."""
+
+import time
+
+import pytest
+
+from repro.obs import MemorySink, disable_tracing, enable_tracing
+from repro.obs.live import (
+    MetricWindow,
+    TelemetryCollector,
+    TimeSeriesStore,
+    Watchdog,
+    current_collector,
+    disable_live_telemetry,
+    enable_live_telemetry,
+    live_telemetry_enabled,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import alerts, describe
+
+
+class StubPool:
+    """Duck-typed WorkerPool for watchdog tests: scripted health/beats."""
+
+    def __init__(self, health=(), beats=None):
+        self._health = list(health)
+        self._beats = dict(beats or {})
+
+    def worker_health(self):
+        return [dict(h) for h in self._health]
+
+    def heartbeats(self):
+        return {k: dict(v) for k, v in self._beats.items()}
+
+
+class TestMetricWindow:
+    def test_counter_rollup_describes_rates(self):
+        w = MetricWindow("c", "counter", maxlen=16)
+        for t, v in [(0.0, 0.0), (1.0, 10.0), (2.0, 40.0)]:
+            w.record(t, v)
+        r = w.rollup()
+        assert r["kind"] == "counter" and r["samples"] == 3
+        assert r["last"] == 40
+        assert r["min"] == 10.0 and r["max"] == 30.0 and r["mean"] == 20.0
+
+    def test_gauge_rollup_describes_levels(self):
+        w = MetricWindow("g", "gauge", maxlen=16)
+        for t, v in enumerate([5.0, 1.0, 3.0]):
+            w.record(float(t), v)
+        r = w.rollup()
+        assert r["min"] == 1.0 and r["max"] == 5.0 and r["last"] == 3.0
+        assert r["p50"] == 3.0
+
+    def test_window_is_bounded(self):
+        w = MetricWindow("c", "gauge", maxlen=4)
+        for t in range(100):
+            w.record(float(t), float(t))
+        assert len(w.samples) == 4
+        assert w.rollup()["min"] == 96.0  # oldest samples evicted
+
+    def test_quantiles_interpolate_over_window(self):
+        w = MetricWindow("g", "gauge", maxlen=128)
+        for t in range(101):
+            w.record(float(t), float(t))
+        r = w.rollup()
+        assert r["p50"] == pytest.approx(50.0)
+        assert r["p99"] == pytest.approx(99.0)
+
+    def test_empty_and_single_sample_rollups_are_finite(self):
+        w = MetricWindow("c", "counter", maxlen=4)
+        assert w.rollup() == {
+            "kind": "counter", "samples": 0, "last": 0,
+            "min": 0.0, "max": 0.0, "mean": 0.0, "p50": 0.0, "p99": 0.0,
+        }
+        w.record(0.0, 5.0)
+        r = w.rollup()  # one counter sample -> no interval yet
+        assert r["samples"] == 1 and r["last"] == 5 and r["mean"] == 0.0
+
+    def test_counter_rate_never_negative_after_reset(self):
+        w = MetricWindow("c", "counter", maxlen=8)
+        w.record(0.0, 100.0)
+        w.record(1.0, 10.0)  # registry was reset between scrapes
+        assert w.rollup()["min"] == 0.0
+
+
+class TestTimeSeriesStore:
+    def test_series_cap_drops_new_not_old(self):
+        store = TimeSeriesStore(window=8, max_series=2)
+        store.record("counter", "a", 0.0, 1.0)
+        store.record("counter", "b", 0.0, 1.0)
+        store.record("counter", "c", 0.0, 1.0)  # over the cap
+        assert store.names() == ["a", "b"]
+        assert store.n_dropped_series == 1
+        store.record("counter", "a", 1.0, 2.0)  # existing series still grow
+        assert len(store.window_of("a").samples) == 2
+
+    def test_rollups_keyed_by_name(self):
+        store = TimeSeriesStore()
+        store.record("gauge", "g", 0.0, 1.5)
+        assert store.rollups()["g"]["last"] == 1.5
+        assert store.rollup("missing") == {}
+
+
+class TestTelemetryCollector:
+    def test_tick_records_all_metric_kinds(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 3)
+        reg.set("g", 2.5)
+        reg.observe("h", 0.5)
+        col = TelemetryCollector(reg, interval=3600)
+        col.tick(now=0.0)
+        names = col.store.names()
+        assert "c" in names and "g" in names and "h.count" in names
+        assert col.n_ticks == 1
+        # The collector accounts for itself in the same registry.
+        assert reg.counter("obs.live.ticks").value == 1
+        assert reg.histogram("obs.live.scrape_seconds").count == 1
+
+    def test_rates_derive_from_consecutive_ticks(self):
+        reg = MetricsRegistry()
+        col = TelemetryCollector(reg, interval=3600)
+        reg.inc("ops", 10)
+        col.tick(now=0.0)
+        reg.inc("ops", 20)
+        col.tick(now=2.0)
+        r = col.store.rollup("ops")
+        assert r["last"] == 30 and r["mean"] == pytest.approx(10.0)  # 20/2s
+
+    def test_background_thread_ticks(self):
+        reg = MetricsRegistry()
+        col = TelemetryCollector(reg, interval=0.01)
+        with col:
+            assert col.running
+            deadline = time.monotonic() + 2.0
+            while col.n_ticks < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert not col.running
+        assert col.n_ticks >= 3
+
+    def test_attached_watchdog_checked_each_tick(self):
+        reg = MetricsRegistry()
+        col = TelemetryCollector(reg, interval=3600)
+        wd = col.attach_watchdog(
+            Watchdog(StubPool(health=[{"worker": 0, "alive": False, "exitcode": -9}]),
+                     registry=reg)
+        )
+        col.tick(now=0.0)
+        assert [a["kind"] for a in wd.alerts] == ["worker_dead"]
+
+    def test_module_level_enable_disable(self):
+        try:
+            col = enable_live_telemetry(interval=60.0)
+            assert live_telemetry_enabled() and current_collector() is col
+            assert col.running
+            replacement = enable_live_telemetry(interval=60.0)
+            assert current_collector() is replacement and not col.running
+        finally:
+            disable_live_telemetry()
+        assert not live_telemetry_enabled() and current_collector() is None
+        assert not replacement.running
+
+
+class TestWatchdog:
+    def beats(self, *, task_id=7, busy=10.0, received=0.0, rss=None):
+        return {
+            0: {
+                "worker": 0, "task_id": task_id, "task": "selftest.sleep",
+                "busy_seconds": busy, "n_done": 1, "rss_bytes": rss,
+                "received": received,
+            }
+        }
+
+    def healthy(self):
+        return [{"worker": 0, "alive": True, "exitcode": None}]
+
+    def test_stalled_worker_alerts_once_per_task(self):
+        reg = MetricsRegistry()
+        pool = StubPool(health=self.healthy(), beats=self.beats(busy=10.0))
+        wd = Watchdog(pool, stall_after=5.0, registry=reg)
+        first = wd.check(now=0.0)
+        assert [a["kind"] for a in first] == ["worker_stalled"]
+        assert first[0]["task_id"] == 7
+        assert first[0]["error_type"] == "WorkerCrashError"
+        assert wd.check(now=1.0) == []  # same episode, no re-alert
+        assert reg.counter("obs.watchdog.alerts").value == 1
+        assert reg.counter("obs.watchdog.worker_stalled").value == 1
+
+    def test_stale_heartbeat_counts_toward_stall(self):
+        # Beat says busy 1s, but it was received 10s ago: the worker is
+        # not even beating any more -> treated as stalled.
+        pool = StubPool(health=self.healthy(),
+                        beats=self.beats(busy=1.0, received=0.0))
+        wd = Watchdog(pool, stall_after=5.0, registry=MetricsRegistry())
+        assert [a["kind"] for a in wd.check(now=10.0)] == ["worker_stalled"]
+
+    def test_idle_fast_worker_never_alerts(self):
+        pool = StubPool(health=self.healthy(),
+                        beats=self.beats(task_id=None, busy=0.0))
+        wd = Watchdog(pool, stall_after=0.1, registry=MetricsRegistry())
+        assert wd.check(now=100.0) == []
+
+    def test_memory_episode_resets_when_rss_drops(self):
+        reg = MetricsRegistry()
+        pool = StubPool(health=self.healthy(),
+                        beats=self.beats(task_id=None, rss=2_000_000))
+        wd = Watchdog(pool, rss_limit_bytes=1_000_000, registry=reg)
+        assert [a["kind"] for a in wd.check(now=0.0)] == ["worker_memory"]
+        assert wd.check(now=1.0) == []  # still over: one alert per episode
+        pool._beats = self.beats(task_id=None, rss=500_000)
+        assert wd.check(now=2.0) == []  # back under: episode closed
+        pool._beats = self.beats(task_id=None, rss=3_000_000)
+        assert [a["kind"] for a in wd.check(now=3.0)] == ["worker_memory"]
+
+    def test_dead_worker_alert_carries_exitcode(self):
+        pool = StubPool(health=[{"worker": 1, "alive": False, "exitcode": -11}])
+        wd = Watchdog(pool, registry=MetricsRegistry())
+        (alert,) = wd.check(now=0.0)
+        assert alert["kind"] == "worker_dead" and alert["exitcode"] == -11
+
+    def test_alerts_enter_trace_stream_and_describe(self):
+        sink = MemorySink()
+        enable_tracing(sink)
+        try:
+            reg = MetricsRegistry()
+            pool = StubPool(health=self.healthy(), beats=self.beats(busy=9.0))
+            Watchdog(pool, stall_after=1.0, registry=reg).check(now=0.0)
+        finally:
+            disable_tracing()
+        flagged = alerts(sink.events)
+        assert len(flagged) == 1
+        assert flagged[0]["name"] == "watchdog.worker_stalled"
+        assert flagged[0]["attrs"]["worker"] == 0
+        text = describe(sink.events)
+        assert "-- alerts (1) --" in text and "watchdog.worker_stalled" in text

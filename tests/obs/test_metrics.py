@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs.metrics import MetricsRegistry, snapshot_delta
 
 
@@ -46,7 +48,10 @@ class TestHistogram:
         for v in (1.0, 2.0, 3.0):
             reg.observe("lat", v)
         s = reg.histogram("lat").summary()
-        assert s == {"count": 3, "total": 6.0, "mean": 2.0, "min": 1.0, "max": 3.0}
+        assert s["count"] == 3 and s["total"] == 6.0 and s["mean"] == 2.0
+        assert s["min"] == 1.0 and s["max"] == 3.0
+        assert 1.0 <= s["p50"] <= s["p99"] <= 3.0
+        assert sum(s["buckets"]) == 3
 
     def test_empty_summary(self):
         # Well-defined zeros, never ±inf sentinels or None: the summary
@@ -55,6 +60,94 @@ class TestHistogram:
         s = reg.histogram("empty").summary()
         assert s == {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
         assert reg.histogram("empty").mean == 0.0
+        assert reg.histogram("empty").quantile(0.5) == 0.0
+
+
+class TestHistogramQuantiles:
+    """Interpolated quantiles pinned on known distributions.
+
+    The quantile estimator interpolates linearly between bucket bounds;
+    on a distribution spread across buckets (uniform below) the estimate
+    lands within a few percent of the exact answer, while a point mass
+    inside one bucket can be off by up to that bucket's width (factor √2,
+    ~41%) — still strictly better than upper-bound snapping, which adds
+    a whole-bucket bias even on smooth distributions.
+    """
+
+    def test_uniform_distribution_p50_p99(self):
+        h = MetricsRegistry().histogram("u")
+        for v in range(1, 10_001):
+            h.observe(float(v))
+        assert h.quantile(0.5) == pytest.approx(5000.0, rel=0.05)
+        assert h.quantile(0.99) == pytest.approx(9900.0, rel=0.05)
+
+    def test_constant_distribution_is_exact(self):
+        h = MetricsRegistry().histogram("c")
+        for _ in range(100):
+            h.observe(7.0)
+        # Every observation in one bucket, clamped to observed extremes.
+        assert h.quantile(0.5) == 7.0
+        assert h.quantile(0.99) == 7.0
+
+    def test_two_point_distribution(self):
+        h = MetricsRegistry().histogram("b")
+        for _ in range(99):
+            h.observe(1.0)
+        h.observe(1000.0)
+        assert h.quantile(0.5) == pytest.approx(1.0, rel=0.25)
+        assert h.quantile(0.999) == pytest.approx(1000.0, rel=0.05)
+
+    def test_exponential_like_ladder(self):
+        h = MetricsRegistry().histogram("e")
+        for k in range(10):  # 512 ones, 256 twos, ... one 512
+            for _ in range(2 ** (9 - k)):
+                h.observe(float(2**k))
+        # 1023 samples, 512 of them equal 1.0 -> p50 sits in 1.0's bucket.
+        assert h.quantile(0.5) == pytest.approx(1.0, rel=0.25)
+        # rank 0.99*1023 falls in the 64-mass (cum 1008 < 1012.8 <= 1016)
+        assert h.quantile(0.99) == pytest.approx(64.0, rel=0.25)
+
+    def test_quantiles_monotone_and_clamped(self):
+        h = MetricsRegistry().histogram("m")
+        for v in (0.001, 0.01, 0.1, 1.0, 10.0):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 0.99, 1.0)]
+        assert qs == sorted(qs)
+        assert qs[0] >= 0.001 and qs[-1] <= 10.0
+
+    def test_merge_preserves_bucket_resolution(self):
+        # Two workers' summaries merged -> quantiles computed from the
+        # combined buckets, not degraded to min/max interpolation.
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for v in range(1, 501):
+            a.observe("lat", float(v))
+        for v in range(501, 1001):
+            b.observe("lat", float(v))
+        parent = MetricsRegistry()
+        parent.merge_snapshot(a.snapshot(), rollup="workers")
+        parent.merge_snapshot(b.snapshot(), rollup="workers")
+        h = parent.histogram("workers.lat")
+        assert h.count == 1000
+        assert h.quantile(0.5) == pytest.approx(500.0, rel=0.05)
+        assert h.quantile(0.99) == pytest.approx(990.0, rel=0.05)
+
+    def test_delta_buckets_round_trip(self):
+        from repro.obs.metrics import snapshot_delta
+
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0):
+            reg.observe("h", v)
+        before = reg.snapshot()
+        for v in (100.0, 200.0, 400.0):
+            reg.observe("h", v)
+        delta = snapshot_delta(before, reg.snapshot())
+        entry = delta["histograms"]["h"]
+        assert entry["count"] == 3
+        assert sum(entry["buckets"]) == 3
+        parent = MetricsRegistry()
+        parent.merge_snapshot(delta)
+        assert parent.histogram("h").quantile(0.99) == pytest.approx(400.0, rel=0.06)
 
 
 class TestRegistry:

@@ -237,12 +237,23 @@ class TestBench:
         assert "+100.0%" in out and "!! drift" in out
 
     def test_diff_fail_on_drift(self, tmp_path, capsys):
+        from repro.__main__ import BENCH_EXIT_CLEAN, BENCH_EXIT_DRIFT
+
         hist = tmp_path / "history.jsonl"
         self.seed_history(hist, [1.0, 2.0])
+        # Drift has its own exit code (3), distinct from usage errors (2),
+        # so CI scripts can branch on the failure mode.
         assert main(["bench", "diff", "0", "-1", "--history", str(hist),
-                     "--fail-on-drift"]) == 1
+                     "--fail-on-drift"]) == BENCH_EXIT_DRIFT == 3
         assert main(["bench", "diff", "0", "-1", "--history", str(hist),
-                     "--threshold", "150", "--fail-on-drift"]) == 0
+                     "--threshold", "150", "--fail-on-drift"]) == BENCH_EXIT_CLEAN == 0
+        capsys.readouterr()
+
+    def test_trend_fail_on_drift_uses_drift_code(self, tmp_path, capsys):
+        hist = tmp_path / "history.jsonl"
+        self.seed_history(hist, [1.0, 1.05, 2.0])
+        assert main(["bench", "trend", "--history", str(hist),
+                     "--fail-on-drift"]) == 3
         capsys.readouterr()
 
     def test_trend_walks_trajectory(self, tmp_path, capsys):
@@ -258,3 +269,59 @@ class TestBench:
         assert "empty" in capsys.readouterr().out
         assert main(["bench", "diff", "0", "1", "--history", str(hist)]) == 2
         assert "error:" in capsys.readouterr().out
+
+
+class TestObs:
+    """The ``repro obs`` family: serve a workload, scrape it, inspect it."""
+
+    def serve_fixture(self):
+        from repro import obs
+
+        obs.METRICS.reset()
+        obs.METRICS.inc("updates.applied", 7)
+        obs.METRICS.observe("lat.seconds", 0.25)
+        collector = obs.TelemetryCollector(interval=3600)
+        collector.tick()
+        return obs.TelemetryServer(collector=collector)
+
+    def test_serve_runs_workload_and_writes_url_file(self, tmp_path, capsys):
+        from repro import obs
+
+        url_file = tmp_path / "url.txt"
+        assert main([
+            "obs", "serve", "updates", "--scale", "8", "--edge-factor", "4",
+            "--updates", "200", "--url-file", str(url_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert url_file.read_text().startswith("http://127.0.0.1:")
+        assert "1 workload round(s)" in out and "series collected" in out
+        assert not obs.live_telemetry_enabled()  # clean teardown
+
+    def test_scrape_check_and_out(self, tmp_path, capsys):
+        with self.serve_fixture() as server:
+            payload = tmp_path / "payload.txt"
+            assert main([
+                "obs", "scrape", server.url, "--check", "--out", str(payload),
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "payload valid:" in out
+            text = payload.read_text()
+        assert text.rstrip().endswith("# EOF")
+        assert "updates_applied_total 7" in text
+
+    def test_scrape_prints_to_stdout_without_out(self, capsys):
+        with self.serve_fixture() as server:
+            assert main(["obs", "scrape", server.url]) == 0
+            assert "updates_applied_total 7" in capsys.readouterr().out
+
+    def test_scrape_unreachable_endpoint_exits_2(self, capsys):
+        assert main([
+            "obs", "scrape", "http://127.0.0.1:9", "--timeout", "0.5",
+        ]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_top_renders_rollups(self, capsys):
+        with self.serve_fixture() as server:
+            assert main(["obs", "top", server.url, "--top", "5"]) == 0
+            out = capsys.readouterr().out
+        assert "updates.applied" in out and "p99" in out
