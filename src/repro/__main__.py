@@ -17,7 +17,9 @@ Commands:
   shared-memory worker pool (docs/PARALLEL.md); the ``fig08``/``fig10``
   workloads then also time serial vs process, verify bit-identity, merge
   the measured comparison into ``BENCH_repro.json`` and append it to the
-  bench-history ledger.  ``--chrome``/``--speedscope``/``--folded``
+  bench-history ledger; the ``genscale`` workload does the same for
+  communication-free parallel R-MAT generation plus chunked-stream
+  construction (docs/GENERATORS.md).  ``--chrome``/``--speedscope``/``--folded``
   additionally export the trace for ``chrome://tracing``, speedscope and
   flamegraph tools; ``--memprof`` turns on per-span memory accounting;
   ``--quiet`` and ``--no-manifest`` trim the output/provenance for
@@ -288,13 +290,99 @@ def _trace_backend_compare(args: argparse.Namespace, backend) -> None:
                f"({record['n_kernels']} kernel(s))")
 
 
+def _trace_genscale(args: argparse.Namespace, backend) -> None:
+    """The ``genscale`` workload: measured serial-vs-backend generation.
+
+    Times the serial ``rmat_edges`` draw against the backend's
+    communication-free sliced generation of the same stream, asserts
+    bit-identity, then rebuilds the graph through the streaming
+    :func:`~repro.generators.parallel.iter_edge_chunks` path into a
+    :class:`~repro.api.DynamicGraph` and reports construction MUPS.
+    Merges a ``trace.genscale`` entry into ``BENCH_repro.json`` and the
+    bench-history ledger, like the other backend-compare workloads.
+    """
+    import time
+
+    from repro import obs
+    from repro.api import DynamicGraph
+    from repro.generators.parallel import iter_edge_chunks
+    from repro.generators.rmat import rmat_edges
+    from repro.obs.bench import update_bench_file
+    from repro.obs.history import DEFAULT_HISTORY_PATH, append_bench_history
+
+    m = args.edge_factor * (1 << args.scale)
+    with obs.span("trace.generate_serial", scale=args.scale, m=m):
+        t0 = time.perf_counter()
+        s_src, s_dst = rmat_edges(args.scale, m, seed=args.seed)
+        serial_s = time.perf_counter() - t0
+    with obs.span("trace.generate_backend", backend=backend.name, m=m):
+        t0 = time.perf_counter()
+        b_src, b_dst = backend.rmat_edges(args.scale, m, seed=args.seed)
+        other_s = time.perf_counter() - t0
+    identical = bool(np.array_equal(s_src, b_src) and np.array_equal(s_dst, b_dst))
+    if not identical:
+        raise SystemExit(
+            f"backend {backend.name!r} generation differs from serial — "
+            "slice-protocol determinism contract violated"
+        )
+    del s_src, s_dst, b_src, b_dst
+    with obs.span("trace.chunked_construction", scale=args.scale, m=m):
+        t0 = time.perf_counter()
+        g = DynamicGraph.from_edge_chunks(
+            1 << args.scale,
+            iter_edge_chunks(args.scale, m, seed=args.seed, ts_range=(0, 1000)),
+            representation=args.representation,
+        )
+        construct_s = time.perf_counter() - t0
+    mups = m / construct_s / 1e6 if construct_s > 0 else float("inf")
+    speedup = serial_s / other_s if other_s > 0 else float("inf")
+    workers = getattr(backend, "workers", 1)
+    detail = (
+        f"{m} edges, chunked construction {g.n_edges} stored edges "
+        f"at {mups:.2f} MUPS"
+    )
+    _say(
+        args,
+        f"genscale: serial generate {serial_s:.3f}s vs {backend.name} "
+        f"({workers} workers) {other_s:.3f}s -> speedup {speedup:.2f}x "
+        f"[edges identical; {detail}]",
+    )
+    entry = {
+        "kernel": f"trace.genscale[scale={args.scale}]",
+        "group": "trace-backend",
+        "host_seconds": other_s,
+        "extra_info": {
+            "backend": backend.name,
+            "workers": workers,
+            "serial_seconds": serial_s,
+            "speedup_vs_serial": round(speedup, 3),
+            "identical_to_serial": identical,
+            "construct_seconds": round(construct_s, 6),
+            "construct_mups": round(mups, 3),
+            "detail": detail,
+        },
+    }
+    doc = update_bench_file(Path.cwd() / "BENCH_repro.json", [entry])
+    _say(args, f"merged measured comparison into BENCH_repro.json "
+               f"({doc['n_benchmarks']} entries)")
+    record = append_bench_history(Path.cwd() / DEFAULT_HISTORY_PATH, [entry])
+    _say(args, f"appended run to {DEFAULT_HISTORY_PATH} "
+               f"({record['n_kernels']} kernel(s))")
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro import obs
 
     if args.scale is None:
         # The figure workloads default to the scale-12 R-MAT instance the
-        # benchmark baseline uses; the quickstart slices stay smaller.
-        args.scale = 12 if args.workload in ("fig08", "fig10") else 11
+        # benchmark baseline uses; genscale defaults a bit larger (it is
+        # generation-bound); the quickstart slices stay smaller.
+        if args.workload in ("fig08", "fig10"):
+            args.scale = 12
+        elif args.workload == "genscale":
+            args.scale = 14
+        else:
+            args.scale = 11
     manifest = None
     if not args.no_manifest:
         manifest = obs.RunManifest.capture(
@@ -319,6 +407,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         ):
             if args.workload in ("fig08", "fig10"):
                 _trace_backend_compare(args, backend)
+            elif args.workload == "genscale":
+                _trace_genscale(args, backend)
             else:
                 _trace_workload(args, backend)
     finally:
@@ -526,9 +616,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("workload", nargs="?", default="quickstart",
                    choices=["quickstart", "updates", "bfs", "connectivity",
-                            "components", "connectit", "fig08", "fig10"])
+                            "components", "connectit", "fig08", "fig10",
+                            "genscale"])
     p.add_argument("--scale", type=int, default=None,
-                   help="n = 2^scale (default: 11, or 12 for fig08/fig10)")
+                   help="n = 2^scale (default: 11; 12 for fig08/fig10; "
+                        "14 for genscale)")
     p.add_argument("--edge-factor", type=int, default=8)
     p.add_argument("--updates", type=int, default=2000,
                    help="mixed-stream length for the update workloads")

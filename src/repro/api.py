@@ -134,6 +134,51 @@ class DynamicGraph:
             **rep_kwargs,
         )
 
+    @classmethod
+    def from_edge_chunks(
+        cls,
+        n: int,
+        chunks,
+        *,
+        representation: str | AdjacencyRepresentation = "hybrid",
+        directed: bool = False,
+        **rep_kwargs,
+    ) -> "DynamicGraph":
+        """Build a graph by streaming bounded edge chunks (never fully resident).
+
+        ``chunks`` is any iterable of :class:`~repro.edgelist.EdgeList`
+        chunks — typically :func:`repro.generators.parallel
+        .iter_edge_chunks` — each bulk-inserted and released before the
+        next is generated, so peak memory is one chunk plus the adjacency
+        structure.  This is the construction path for scales where the
+        materialised edge list would not fit (see docs/GENERATORS.md).
+        """
+        g = cls(n, representation, directed=directed, **rep_kwargs)
+        with span("api.from_edge_chunks", n=int(n)) as sp:
+            n_chunks = 0
+            n_edges = 0
+            for chunk in chunks:
+                if chunk.n > g.n:
+                    raise GraphError(
+                        f"chunk vertex count {chunk.n} exceeds graph n={g.n}"
+                    )
+                src = np.asarray(chunk.src, dtype=np.int64)
+                dst = np.asarray(chunk.dst, dtype=np.int64)
+                t = chunk.ts if chunk.ts is None else np.asarray(chunk.ts, np.int64)
+                if directed:
+                    g.rep.bulk_insert(src, dst, t)
+                else:
+                    g.rep.bulk_insert(
+                        np.concatenate([src, dst]),
+                        np.concatenate([dst, src]),
+                        None if t is None else np.concatenate([t, t]),
+                    )
+                n_chunks += 1
+                n_edges += len(src)
+                METRICS.inc("api.chunks_applied")
+            sp.set(chunks=n_chunks, edges=n_edges)
+        return g
+
     # ------------------------------------------------------------------ #
     # updates
     # ------------------------------------------------------------------ #

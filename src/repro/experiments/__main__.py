@@ -17,6 +17,7 @@ meta — to a report file; the nightly CI job uploads this as its artifact.
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 from pathlib import Path
@@ -86,6 +87,20 @@ def main(argv: list[str] | None = None) -> int:
         help="also write a machine-readable report of every result",
     )
     parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=["serial", "process"],
+        help="graph-generation backend for the figures that accept one "
+             "(process = communication-free parallel R-MAT on the worker "
+             "pool, bit-identical to serial; see docs/GENERATORS.md)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-backend worker count (default: visible CPUs)",
+    )
+    parser.add_argument(
         "--memprof",
         action="store_true",
         help="measure peak heap/RSS of each figure's kernel "
@@ -111,7 +126,15 @@ def main(argv: list[str] | None = None) -> int:
     report: list[dict] = []
     for name in args.figures:
         run = get_figure(name)
-        result = run(quick=not args.full)
+        kwargs = {}
+        # Only some figures take an execution backend; pass it through
+        # where the signature accepts it so the rest stay untouched.
+        params = inspect.signature(run).parameters
+        if "backend" in params:
+            kwargs["backend"] = args.backend
+            if "workers" in params:
+                kwargs["workers"] = args.workers
+        result = run(quick=not args.full, **kwargs)
         print(result.render())
         print()
         report.append(_result_dict(name, result))

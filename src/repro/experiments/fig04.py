@@ -41,9 +41,14 @@ def make_reps(n: int, expected_arcs: int, seed: int):
     )
 
 
-def run(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResult:
+def run(
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    backend: str = "serial",
+    workers: int | None = None,
+) -> FigureResult:
     mscale = measured_scale(14, 11, quick)
-    graph = rmat_graph(mscale, 10, seed=seed)
+    graph = rmat_graph(mscale, 10, seed=seed, backend=backend, workers=workers)
     n0, m0 = graph.n, graph.m
 
     series = []
@@ -79,7 +84,7 @@ def run(quick: bool = False, seed: int = DEFAULT_SEED) -> FigureResult:
         title="Construction MUPS: Dyn-arr vs Treaps vs Hybrid, UltraSPARC T2",
         series=series,
         notes=f"measured at n=2^{mscale}; target 33.5M / 268M",
-        meta={"measured_scale": mscale, "host": host},
+        meta={"measured_scale": mscale, "gen_backend": backend, "host": host},
     )
     da = fig.get("Dyn-arr")
     tr = fig.get("Treaps")

@@ -49,31 +49,31 @@ FIGURE_INDEX: dict[str, dict] = {
     "fig01": {
         "figure": "Figure 1",
         "title": "Dyn-arr-nr insertion MUPS vs problem size (1 core / 8 cores)",
-        "backends": "serial",
+        "backends": "serial, process",
         "benchmark": "benchmarks/test_fig01_insert_scaling.py",
     },
     "fig02": {
         "figure": "Figure 2",
         "title": "Dyn-arr vs Dyn-arr-nr construction MUPS, UltraSPARC T2",
-        "backends": "serial",
+        "backends": "serial, process",
         "benchmark": "benchmarks/test_fig02_resizing_overhead.py",
     },
     "fig03": {
         "figure": "Figure 3",
         "title": "Insertion strategies on 8 cores: Dyn-arr-nr vs batched/Vpart/Epart",
-        "backends": "serial",
+        "backends": "serial, process",
         "benchmark": "benchmarks/test_fig03_partitioning.py",
     },
     "fig04": {
         "figure": "Figure 4",
         "title": "Construction MUPS: Dyn-arr vs Treaps vs Hybrid, UltraSPARC T2",
-        "backends": "serial",
+        "backends": "serial, process",
         "benchmark": "benchmarks/test_fig04_insert_representations.py",
     },
     "fig05": {
         "figure": "Figure 5",
         "title": "Deletion MUPS after construction: Dyn-arr vs Treaps vs Hybrid, T2",
-        "backends": "serial",
+        "backends": "serial, process",
         "benchmark": "benchmarks/test_fig05_delete_representations.py",
     },
     "fig06": {

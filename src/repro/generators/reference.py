@@ -9,6 +9,8 @@ used in integration tests.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.edgelist import EdgeList
@@ -145,7 +147,7 @@ def watts_strogatz(
     return EdgeList(n, src, dst, meta={"generator": "watts_strogatz", "k": k, "beta": beta})
 
 
-def to_networkx(graph: EdgeList, *, multigraph: bool = False):
+def to_networkx(graph: EdgeList, *, multigraph: bool = False) -> Any:
     """Convert to a networkx graph (test/validation helper).
 
     Imports networkx lazily — it is a test-only dependency.  Time-stamps are

@@ -79,10 +79,12 @@ class UpdateStream:
 
     @property
     def n_inserts(self) -> int:
+        """Number of insertion updates in the stream."""
         return int(np.count_nonzero(self.op == INSERT))
 
     @property
     def n_deletes(self) -> int:
+        """Number of deletion updates in the stream."""
         return int(np.count_nonzero(self.op == DELETE))
 
     def select(self, index: np.ndarray) -> "UpdateStream":
@@ -114,9 +116,11 @@ class UpdateStream:
         )
 
     def inserts_only(self) -> "UpdateStream":
+        """The insertion subsequence, order preserved."""
         return self.select(np.nonzero(self.op == INSERT)[0])
 
     def deletes_only(self) -> "UpdateStream":
+        """The deletion subsequence, order preserved."""
         return self.select(np.nonzero(self.op == DELETE)[0])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

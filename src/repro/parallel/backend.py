@@ -33,8 +33,9 @@ from repro.parallel.components import parallel_connected_components
 from repro.parallel.pool import WorkerPool
 from repro.parallel.queries import parallel_query_batch
 
-if TYPE_CHECKING:  # import cycle: repro.connectit.framework imports this module
+if TYPE_CHECKING:  # import cycles: these modules import this one (or the pool)
     from repro.connectit.framework import ConnectItResult, ConnectItSpec
+    from repro.generators.rmat import RMATParams
 
 __all__ = ["BACKENDS", "ExecutionBackend", "SerialBackend", "ProcessBackend", "resolve_backend"]
 
@@ -71,6 +72,18 @@ class ExecutionBackend:
 
     def connectit_components(self, graph: CSRGraph, spec: "ConnectItSpec") -> "ConnectItResult":
         """Sample-finish connectivity (:mod:`repro.connectit`) on this backend."""
+        raise NotImplementedError
+
+    def rmat_edges(
+        self,
+        scale: int,
+        m: int,
+        *,
+        params: "RMATParams | None" = None,
+        seed: int | None = None,
+        n_slices: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """R-MAT edge generation on this backend (bit-identical across backends)."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -118,6 +131,20 @@ class SerialBackend(ExecutionBackend):
         from repro.connectit.framework import _serial_connect
 
         return _serial_connect(graph, spec)
+
+    def rmat_edges(
+        self,
+        scale: int,
+        m: int,
+        *,
+        params: "RMATParams | None" = None,
+        seed: int | None = None,
+        n_slices: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run the in-process serial generator (``n_slices`` is irrelevant here)."""
+        from repro.generators.rmat import PAPER_RMAT, rmat_edges
+
+        return rmat_edges(scale, m, params if params is not None else PAPER_RMAT, seed)
 
 
 class ProcessBackend(ExecutionBackend):
@@ -167,6 +194,34 @@ class ProcessBackend(ExecutionBackend):
         from repro.connectit.framework import _process_connect
 
         return _process_connect(graph, spec, self.pool)
+
+    def rmat_edges(
+        self,
+        scale: int,
+        m: int,
+        *,
+        params: "RMATParams | None" = None,
+        seed: int | None = None,
+        n_slices: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Generate slices communication-free on the worker pool (shared memory).
+
+        Lazy import: :mod:`repro.generators.parallel` imports the pool
+        machinery at module load, so importing it here at call time keeps
+        the ``backend -> generators -> parallel`` edge out of import time.
+        """
+        from repro.generators.parallel import rmat_edges_parallel
+        from repro.generators.rmat import PAPER_RMAT
+
+        src, dst, _ = rmat_edges_parallel(
+            scale,
+            m,
+            params=params if params is not None else PAPER_RMAT,
+            seed=seed,
+            pool=self.pool,
+            n_slices=n_slices,
+        )
+        return src, dst
 
     def close(self) -> None:
         """Shut the owned worker pool down."""

@@ -167,6 +167,7 @@ def _worker_main(
 ) -> None:
     # Explicit imports populate the task registry under the spawn method.
     import repro.connectit.framework  # noqa: F401
+    import repro.generators.parallel  # noqa: F401
     import repro.parallel.bfs  # noqa: F401
     import repro.parallel.components  # noqa: F401
     import repro.parallel.queries  # noqa: F401
