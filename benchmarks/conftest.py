@@ -25,11 +25,23 @@ from pathlib import Path
 
 import pytest
 
+from repro import kernels
 from repro.experiments import FigureResult
 from repro.obs import ensure_manifest
 from repro.obs.bench import update_bench_file
 from repro.obs.history import DEFAULT_HISTORY_PATH, append_bench_history
 from repro.util.jsonify import jsonify
+
+
+def pytest_sessionstart(session):
+    """Warm the compiled kernel tier before any timed section runs.
+
+    A no-op without numba; with it, first-call JIT compilation happens
+    here — never inside a benchmark round — and its cost is reported
+    separately as ``compile_seconds`` on every recorded entry (via
+    :func:`repro.kernels.bench_meta`).
+    """
+    kernels.warmup()
 
 
 def attach_series(benchmark, result: FigureResult) -> None:
@@ -79,13 +91,17 @@ def pytest_sessionfinish(session, exitstatus):
     bs = getattr(session.config, "_benchmarksession", None)
     if bs is None or not getattr(bs, "benchmarks", None):
         return
+    meta = kernels.bench_meta()
     entries = []
     for bench in bs.benchmarks:
+        # Tier provenance on every row (a benchmark's own extra_info wins,
+        # e.g. when it timed a specific tier rather than the default one).
+        extra = {**meta, **dict(getattr(bench, "extra_info", {}) or {})}
         entry = {
             "kernel": bench.fullname,
             "group": getattr(bench, "group", None),
             "host_seconds": _bench_mean_seconds(bench),
-            "extra_info": jsonify(dict(getattr(bench, "extra_info", {}) or {})),
+            "extra_info": jsonify(extra),
         }
         entries.append(entry)
     root = Path(__file__).resolve().parent.parent

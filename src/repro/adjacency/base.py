@@ -148,6 +148,11 @@ class AdjacencyRepresentation(abc.ABC):
         #: forces them, False forces the scalar path, None defers to
         #: :mod:`repro.adjacency.bulkops` defaults (env + batch size).
         self.use_bulkops: bool | None = None
+        #: Per-instance kernel-tier override ("scalar" | "vectorised" |
+        #: "compiled"); None defers to :func:`repro.kernels.resolve_tier`
+        #: (env var, then auto-probe).  Tier "scalar" forces the reference
+        #: loops even when :attr:`use_bulkops` is True.
+        self.kernel_tier: str | None = None
 
     # ------------------------------------------------------------------ #
     # abstract hot-path operations

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels
 from repro.adjacency.csr import CSRGraph
 from repro.errors import GraphError
 from repro.machine.profile import Phase, WorkProfile
@@ -248,6 +249,7 @@ def _serial_connect(graph: CSRGraph, spec: ConnectItSpec) -> ConnectItResult:
             "arcs": graph.n_arcs,
             "sample_arcs": int(stats.attempts),
             "finish_arcs": int(fsrc.size),
+            "kernel_tier": kernels.resolve_tier(uf),
             "footprint_bytes": uf.memory_bytes() + int(_ARC_BYTES) * graph.n_arcs,
         },
     )
@@ -352,6 +354,7 @@ def _process_connect(graph: CSRGraph, spec: ConnectItSpec, pool: WorkerPool) -> 
             "arcs": graph.n_arcs,
             "sample_arcs": int(stats.attempts),
             "finish_arcs": int(fsrc.size),
+            "kernel_tier": kernels.resolve_tier(uf),
             "footprint_bytes": uf.memory_bytes() + int(_ARC_BYTES) * graph.n_arcs,
             "fragments": fragments,
         },

@@ -27,6 +27,7 @@ from dataclasses import dataclass, fields
 
 import numpy as np
 
+from repro import kernels
 from repro.errors import GraphError
 
 __all__ = ["UNION_RULES", "COMPACTION_RULES", "WorkCounters", "UnionFind"]
@@ -127,6 +128,9 @@ class UnionFind:
         self.rank = np.zeros(self.n, dtype=np.int8) if union_rule == "rank" else None
         self.size = np.ones(self.n, dtype=np.int64) if union_rule == "size" else None
         self.counters = WorkCounters()
+        #: Kernel-tier override for :meth:`union_arcs`; None defers to
+        #: :func:`repro.kernels.resolve_tier` (env var, then auto-probe).
+        self.kernel_tier: str | None = None
 
     # ------------------------------------------------------------------ #
     # core operations
@@ -242,14 +246,58 @@ class UnionFind:
 
         The bulk entry point the sampling and finish phases drive; identical
         to looping :meth:`union` (it *is* that loop, kept in one place so
-        the drivers stay readable).
+        the drivers stay readable).  Under kernel tier ``compiled`` the loop
+        runs as the fused :func:`repro.kernels.loops.union_arcs` — same
+        union/compaction rules, bit-identical :class:`WorkCounters`.
         """
+        if kernels.resolve_tier(self) == "compiled" and src.size:
+            linked = self.union_arcs_compiled(src, dst)
+            return int(np.count_nonzero(linked))
         hooks = 0
         union = self.union
         for u, v in zip(src.tolist(), dst.tolist()):
             if union(u, v):
                 hooks += 1
         return hooks
+
+    def union_arcs_compiled(
+        self, src: np.ndarray, dst: np.ndarray, pre_resolved: bool = False
+    ) -> np.ndarray:
+        """Run the fused union kernel over the batch; returns the linked mask.
+
+        ``linked[i]`` is True exactly when pair ``i`` merged two distinct
+        trees (the information :meth:`union` returns per call).  With
+        ``pre_resolved`` True, pairs with equal endpoints count one union
+        attempt and nothing else — the convention of
+        :meth:`repro.core.connectivity.ConnectivityIndex.insert_batch`,
+        whose batch findroot pass already resolved them.  Counters are
+        folded into :attr:`counters` bit-identically to the scalar loop.
+        """
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        linked = np.zeros(src.size, dtype=np.bool_)
+        rank = self.rank if self.rank is not None else np.zeros(0, dtype=np.int8)
+        size = self.size if self.size is not None else np.zeros(0, dtype=np.int64)
+        c = np.zeros(5, dtype=np.int64)
+        kernels.get("union_arcs")(
+            self.parent,
+            rank,
+            size,
+            src,
+            dst,
+            kernels.RULE_CODES[self.union_rule],
+            kernels.COMP_CODES[self.compaction],
+            linked,
+            pre_resolved,
+            c,
+        )
+        cs = self.counters
+        cs.finds += int(c[kernels.C_FINDS])
+        cs.unions += int(c[kernels.C_UNIONS])
+        cs.hooks += int(c[kernels.C_HOOKS])
+        cs.pointer_chases += int(c[kernels.C_CHASES])
+        cs.compaction_writes += int(c[kernels.C_COMPACTIONS])
+        return linked
 
     def bulk_hook(self, vertices: np.ndarray, root: int) -> int:
         """Hook singleton ``vertices`` directly under ``root`` (one write each).

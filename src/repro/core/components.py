@@ -13,9 +13,11 @@ id of its component.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 
 import numpy as np
 
+from repro import kernels
 from repro.adjacency.csr import CSRGraph
 from repro.machine.profile import Phase, WorkProfile
 
@@ -85,22 +87,43 @@ class ComponentsResult:
         )
 
 
-def connected_components(graph: CSRGraph, *, max_passes: int | None = None) -> ComponentsResult:
+def connected_components(
+    graph: CSRGraph, *, max_passes: int | None = None, kernel_tier: str | None = None
+) -> ComponentsResult:
     """Label every vertex with its component's minimum vertex id.
 
     ``max_passes`` is a safety valve for adversarial graphs; label
     propagation with full pointer jumping converges in O(log n) passes.
+
+    ``kernel_tier`` overrides the dispatch (:mod:`repro.kernels`) for this
+    call; None consults the ``REPRO_KERNEL_TIER`` env var then the
+    auto-probe.  Tier ``compiled`` runs the fused
+    :func:`repro.kernels.loops.sv_components` loop — identical labels and
+    pass/jump/arc accounting; the SV sweep is inherently vectorised, so
+    tier ``scalar`` takes the numpy path too.  The resolved tier lands in
+    the result's ``meta`` (and thus in the work profile).
     """
+    probe = graph if kernel_tier is None else SimpleNamespace(kernel_tier=kernel_tier)
+    tier = kernels.resolve_tier(probe)
     n = graph.n
     labels = np.arange(n, dtype=np.int64)
     if n == 0:
-        return ComponentsResult(labels, 0, 0, 0)
+        return ComponentsResult(labels, 0, 0, 0, meta={"kernel_tier": tier})
     src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
     dst = graph.targets
     passes = 0
     jumps = 0
     arcs_processed = 0
     limit = max_passes if max_passes is not None else 2 * int(np.ceil(np.log2(n + 1))) + 4
+    if tier == "compiled":
+        passes, jumps, arcs_processed = kernels.get("sv_components")(labels, src, dst, limit)
+        return ComponentsResult(
+            labels,
+            int(passes),
+            int(jumps),
+            int(arcs_processed),
+            meta={"kernel_tier": tier},
+        )
     while True:
         passes += 1
         prev = labels.copy()
@@ -121,4 +144,4 @@ def connected_components(graph: CSRGraph, *, max_passes: int | None = None) -> C
             break
         if passes >= limit:
             break
-    return ComponentsResult(labels, passes, jumps, arcs_processed)
+    return ComponentsResult(labels, passes, jumps, arcs_processed, meta={"kernel_tier": tier})

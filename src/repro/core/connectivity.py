@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels
 from repro.adjacency.csr import CSRGraph
 from repro.core.linkcut import ConstructionRecord, LinkCutForest
 from repro.errors import GraphError
@@ -152,6 +153,7 @@ class ConnectivityIndex:
                 "n": self.forest.n,
                 "backend": be.name,
                 "workers": int(getattr(be, "workers", 1)),
+                "kernel_tier": kernels.resolve_tier(self.forest),
                 **manifest_meta(),
             },
         )
@@ -228,13 +230,23 @@ class ConnectivityIndex:
             roots_u = forest.findroot_batch(us)
             roots_v = forest.findroot_batch(vs)
             uf = UnionFind(forest.n, union_rule=union_rule, compaction=compaction)
-            linked = np.zeros(us.size, dtype=bool)
-            for i, (ru, rv) in enumerate(zip(roots_u.tolist(), roots_v.tolist())):
-                if ru == rv:
-                    uf.counters.unions += 1  # examined; redundant before the batch
-                elif uf.union(ru, rv):
+            tier = kernels.resolve_tier(forest)
+            if tier == "compiled" and us.size:
+                # The union-find replay is independent of the forest, so
+                # the fused kernel resolves the whole batch first and the
+                # winning edges touch the forest afterwards, in batch
+                # order — identical forest, hops, counters and links.
+                linked = uf.union_arcs_compiled(roots_u, roots_v, pre_resolved=True)
+                for i in np.flatnonzero(linked).tolist():
                     forest.add_edge(int(us[i]), int(vs[i]))
-                    linked[i] = True
+            else:
+                linked = np.zeros(us.size, dtype=bool)
+                for i, (ru, rv) in enumerate(zip(roots_u.tolist(), roots_v.tolist())):
+                    if ru == rv:
+                        uf.counters.unions += 1  # examined; redundant before the batch
+                    elif uf.union(ru, rv):
+                        forest.add_edge(int(us[i]), int(vs[i]))
+                        linked[i] = True
             sp.set(links=int(linked.sum()), trees=forest.n_trees())
         hops = int(forest.hops - hops_before)
         n_links = int(linked.sum())
@@ -258,6 +270,7 @@ class ConnectivityIndex:
                 "union_rule": union_rule,
                 "compaction": compaction,
                 "counters": c.to_dict(),
+                "kernel_tier": tier,
                 **manifest_meta(),
             },
         )

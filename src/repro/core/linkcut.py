@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.adjacency.csr import CSRGraph
 from repro.core.components import ComponentsResult, connected_components
 from repro.errors import GraphError, NotInForestError, VertexError
@@ -65,6 +66,9 @@ class LinkCutForest:
         self.version = 0
         #: findroot pointer hops since the last counter reset (profiles).
         self.hops = 0
+        #: Kernel-tier override for :meth:`findroot_batch`; None defers to
+        #: :func:`repro.kernels.resolve_tier` (env var, then auto-probe).
+        self.kernel_tier: str | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -195,11 +199,23 @@ class LinkCutForest:
 
         Parallel pointer chasing: all chains advance one hop per vector
         pass, so the pass count equals the maximum depth — the simulated
-        machine runs the queries concurrently the same way.
+        machine runs the queries concurrently the same way.  The hop total
+        (sum of query depths) is identical across kernel tiers: the
+        ``compiled`` tier chases each query to its root in one fused loop
+        (:func:`repro.kernels.loops.findroot_batch`), the ``scalar`` tier
+        loops :meth:`findroot`, and both account the same hops.
         """
         v = np.asarray(vertices, dtype=np.int64).copy()
         if v.size and (v.min() < 0 or v.max() >= self.n):
             raise VertexError("vertex id out of range in findroot_batch")
+        tier = kernels.resolve_tier(self)
+        if tier == "compiled":
+            self.hops += int(kernels.get("findroot_batch")(self.parent, v))
+            return v
+        if tier == "scalar":
+            for i in range(v.size):
+                v[i] = self.findroot(int(v[i]))
+            return v
         parent = self.parent
         active = parent[v] != _NIL
         while np.any(active):

@@ -9,8 +9,17 @@ migrations), the same live-arc count and the same ``memory_bytes``.  These
 tests drive a scalar and a vectorised instance through identical streams —
 seeded sweeps across all seven kinds, plus hypothesis-generated adversarial
 streams for the dyn-arr family — and diff all of it.
+
+The same contract extends to the ``compiled`` kernel tier
+(:mod:`repro.kernels`): every stream here re-runs with
+``rep.kernel_tier = "compiled"`` under
+:func:`repro.kernels.force_available`, which drives the exact loop bodies
+numba would compile (as pure Python when numba is absent), so the fused
+:func:`repro.kernels.loops.delete_match` path is diffed against the scalar
+reference on every interpreter.
 """
 
+from contextlib import contextmanager, nullcontext
 from dataclasses import asdict
 
 import numpy as np
@@ -18,6 +27,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import kernels
 from repro.adjacency.batch import BatchedAdjacency
 from repro.adjacency.csr import csr_from_arrays, csr_from_representation
 from repro.adjacency.dynarr import DynArrAdjacency
@@ -27,6 +37,17 @@ from repro.adjacency.treap import TreapAdjacency
 from repro.adjacency.vpart import VPartAdjacency
 
 KINDS = ["dynarr", "dynarr-nr", "treap", "hybrid", "vpart", "epart", "batched"]
+
+#: The non-reference kernel tiers the equivalence contract covers; the
+#: scalar instance in every pair *is* the "scalar" tier.
+TIERS = ["vectorised", "compiled"]
+
+
+@contextmanager
+def tier_ctx(tier):
+    """Make ``tier`` dispatchable: force kernel availability for compiled."""
+    with kernels.force_available() if tier == "compiled" else nullcontext():
+        yield
 
 
 def build(kind, n, seed=7):
@@ -66,15 +87,22 @@ def observable_state(rep):
     }
 
 
-def run_pair(kind, op, src, dst, ts):
-    """Apply one stream to a vectorised and a scalar instance; return both."""
+def run_pair(kind, op, src, dst, ts, tier="vectorised"):
+    """Apply one stream to a ``tier`` instance and a scalar instance."""
     n = max(int(src.max(initial=0)) + 1, int(dst.max(initial=0)) + 1, 2)
     vec, ref = build(kind, n), build(kind, n)
     vec.use_bulkops = True
+    vec.kernel_tier = tier
     ref.use_bulkops = False
     m_vec = vec.apply_arcs(op, src, dst, ts)
     m_ref = ref.apply_arcs_scalar(op, src, dst, ts)
     return vec, ref, m_vec, m_ref
+
+
+def check_stream(kind, op, src, dst, ts, tier="vectorised"):
+    """Full equivalence check of one stream at one kernel tier."""
+    with tier_ctx(tier):
+        assert_equivalent(*run_pair(kind, op, src, dst, ts, tier))
 
 
 def assert_equivalent(vec, ref, m_vec, m_ref):
@@ -99,26 +127,27 @@ def make_stream(rng, n, k, insert_frac):
     return op, src, dst, ts
 
 
+@pytest.mark.parametrize("tier", TIERS)
 @pytest.mark.parametrize("kind", KINDS)
 class TestSeededEquivalence:
-    def test_mixed_stream(self, kind):
+    def test_mixed_stream(self, kind, tier):
         for trial in range(8):
             rng = np.random.default_rng(100 * trial + 1)
             op, src, dst, ts = make_stream(rng, 10, 500, 0.6)
-            assert_equivalent(*run_pair(kind, op, src, dst, ts))
+            check_stream(kind, op, src, dst, ts, tier)
 
-    def test_insert_only_stream(self, kind):
+    def test_insert_only_stream(self, kind, tier):
         rng = np.random.default_rng(2)
         op, src, dst, ts = make_stream(rng, 16, 800, 1.1)  # all inserts
-        assert_equivalent(*run_pair(kind, op, src, dst, ts))
+        check_stream(kind, op, src, dst, ts, tier)
 
-    def test_delete_heavy_stream(self, kind):
+    def test_delete_heavy_stream(self, kind, tier):
         # Mostly deletes against a sparse structure: exercises the miss path.
         rng = np.random.default_rng(3)
         op, src, dst, ts = make_stream(rng, 8, 400, 0.25)
-        assert_equivalent(*run_pair(kind, op, src, dst, ts))
+        check_stream(kind, op, src, dst, ts, tier)
 
-    def test_duplicates_and_self_loops(self, kind):
+    def test_duplicates_and_self_loops(self, kind, tier):
         # Heavy duplication (tiny value range) plus forced self-loops: the
         # delete matcher must consume duplicate occurrences in FIFO order.
         rng = np.random.default_rng(4)
@@ -129,9 +158,9 @@ class TestSeededEquivalence:
         loops = rng.random(k) < 0.3
         dst[loops] = src[loops]
         ts = rng.integers(0, 50, size=k)
-        assert_equivalent(*run_pair(kind, op, src, dst, ts))
+        check_stream(kind, op, src, dst, ts, tier)
 
-    def test_interleaved_same_key_stream(self, kind):
+    def test_interleaved_same_key_stream(self, kind, tier):
         # Insert/delete/insert/delete on one (u, v) pair — the worst case for
         # the batch-internal supply/demand matching.
         k = 120
@@ -139,21 +168,23 @@ class TestSeededEquivalence:
         src = np.zeros(k, dtype=np.int64)
         dst = np.ones(k, dtype=np.int64)
         ts = np.arange(k, dtype=np.int64)
-        assert_equivalent(*run_pair(kind, op, src, dst, ts))
+        check_stream(kind, op, src, dst, ts, tier)
 
-    def test_multi_batch_accumulation(self, kind):
+    def test_multi_batch_accumulation(self, kind, tier):
         # Several consecutive batches: later batches start from non-empty
         # structures, exercising the pre-existing-supply path.
         n = 6
-        vec, ref = build(kind, n), build(kind, n)
-        vec.use_bulkops = True
-        ref.use_bulkops = False
-        for trial in range(5):
-            rng = np.random.default_rng(50 + trial)
-            op, src, dst, ts = make_stream(rng, n, 200, 0.55)
-            m_vec = vec.apply_arcs(op, src, dst, ts)
-            m_ref = ref.apply_arcs_scalar(op, src, dst, ts)
-            assert_equivalent(vec, ref, m_vec, m_ref)
+        with tier_ctx(tier):
+            vec, ref = build(kind, n), build(kind, n)
+            vec.use_bulkops = True
+            vec.kernel_tier = tier
+            ref.use_bulkops = False
+            for trial in range(5):
+                rng = np.random.default_rng(50 + trial)
+                op, src, dst, ts = make_stream(rng, n, 200, 0.55)
+                m_vec = vec.apply_arcs(op, src, dst, ts)
+                m_ref = ref.apply_arcs_scalar(op, src, dst, ts)
+                assert_equivalent(vec, ref, m_vec, m_ref)
 
 
 hypothesis_stream = st.lists(
@@ -167,29 +198,30 @@ hypothesis_stream = st.lists(
 )
 
 
+@pytest.mark.parametrize("tier", TIERS)
 class TestHypothesisEquivalence:
     @given(hypothesis_stream)
     @settings(max_examples=60, deadline=None)
-    def test_dynarr(self, stream):
-        self._run("dynarr", stream)
+    def test_dynarr(self, tier, stream):
+        self._run("dynarr", stream, tier)
 
     @given(hypothesis_stream)
     @settings(max_examples=40, deadline=None)
-    def test_hybrid(self, stream):
-        self._run("hybrid", stream)
+    def test_hybrid(self, tier, stream):
+        self._run("hybrid", stream, tier)
 
     @given(hypothesis_stream)
     @settings(max_examples=30, deadline=None)
-    def test_epart(self, stream):
-        self._run("epart", stream)
+    def test_epart(self, tier, stream):
+        self._run("epart", stream, tier)
 
     @staticmethod
-    def _run(kind, stream):
+    def _run(kind, stream, tier):
         op = np.array([1 if i else -1 for i, _, _ in stream], dtype=np.int8)
         src = np.array([u for _, u, _ in stream], dtype=np.int64)
         dst = np.array([v for _, _, v in stream], dtype=np.int64)
         ts = np.arange(op.size, dtype=np.int64)
-        assert_equivalent(*run_pair(kind, op, src, dst, ts))
+        check_stream(kind, op, src, dst, ts, tier)
 
 
 class TestSnapshotPipeline:

@@ -12,6 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import kernels
 from repro.adjacency.csr import build_csr
 from repro.connectit import (
     SAMPLING_RULES,
@@ -46,6 +47,27 @@ def test_all_variants_match_networkx(graph_family, spec):
     result = connect_components(csr, spec)
     np.testing.assert_array_equal(result.labels, expected)
     assert result.n_components == np.unique(expected).size
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=[s.name for s in ALL_SPECS])
+def test_compiled_tier_bit_identical(graph_family, spec, monkeypatch):
+    # The compiled kernel tier must reproduce every variant bit-for-bit:
+    # labels AND the full WorkCounters accounting of both phases.  Driven
+    # through force_available so the fused loop bodies run (as pure Python)
+    # even where numba is not installed.
+    _, _, csr = graph_family
+    monkeypatch.setenv(kernels.ENV_VAR, "vectorised")
+    ref = connect_components(csr, spec)
+    monkeypatch.setenv(kernels.ENV_VAR, "compiled")
+    with kernels.force_available():
+        jit = connect_components(csr, spec)
+    np.testing.assert_array_equal(jit.labels, ref.labels)
+    assert jit.counters.to_dict() == ref.counters.to_dict()
+    assert jit.sample_counters.to_dict() == ref.sample_counters.to_dict()
+    assert jit.finish_counters.to_dict() == ref.finish_counters.to_dict()
+    assert jit.sample.to_dict() == ref.sample.to_dict()
+    assert ref.meta["kernel_tier"] == "vectorised"
+    assert jit.meta["kernel_tier"] == "compiled"
 
 
 def test_matches_shiloach_vishkin(graph_family):

@@ -1,0 +1,143 @@
+"""Dispatch semantics of the three-level kernel tier.
+
+Precedence (env var > instance attribute > auto-probe), validation errors,
+the silent import probe, and the interaction with the ``use_bulkops``
+dispatch the tier extends.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.adjacency import bulkops
+from repro.adjacency.dynarr import DynArrAdjacency
+from repro.connectit.unionfind import UnionFind
+from repro.core.linkcut import LinkCutForest
+from repro.errors import GraphError
+
+#: Skip marker for tests that need a real numba (the uninstalled path is
+#: covered by everything else in this package via ``force_available``).
+requires_numba = pytest.mark.skipif(
+    not kernels.numba_available(), reason="numba not installed (pip install repro[jit])"
+)
+
+
+class TestPrecedence:
+    def test_default_is_probe_result(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+        expected = "compiled" if kernels.numba_available() else "vectorised"
+        assert kernels.default_tier() == expected
+        assert kernels.resolve_tier() == expected
+        assert kernels.resolve_tier(object()) == expected
+
+    def test_attribute_beats_probe(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+        uf = UnionFind(4)
+        uf.kernel_tier = "scalar"
+        assert kernels.resolve_tier(uf) == "scalar"
+
+    def test_env_beats_attribute(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "vectorised")
+        forest = LinkCutForest(4)
+        forest.kernel_tier = "scalar"
+        assert kernels.resolve_tier(forest) == "vectorised"
+
+    def test_none_attribute_falls_through(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+        rep = DynArrAdjacency(4)
+        assert rep.kernel_tier is None
+        assert kernels.resolve_tier(rep) == kernels.default_tier()
+
+    def test_forced_availability_flips_default(self):
+        with kernels.force_available():
+            assert kernels.default_tier() == "compiled"
+            assert kernels.resolve_tier() == "compiled"
+
+
+class TestValidation:
+    def test_unknown_tier_attribute(self):
+        uf = UnionFind(4)
+        uf.kernel_tier = "turbo"
+        with pytest.raises(GraphError, match="unknown kernel tier"):
+            kernels.resolve_tier(uf)
+
+    def test_unknown_tier_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "turbo")
+        with pytest.raises(GraphError, match="unknown kernel tier"):
+            kernels.resolve_tier()
+
+    @pytest.mark.skipif(
+        kernels.numba_available(), reason="needs the numba-less environment"
+    )
+    def test_compiled_without_numba_is_a_clear_error(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "compiled")
+        with pytest.raises(GraphError, match=r"repro\[jit\]"):
+            kernels.resolve_tier()
+
+    def test_unknown_kernel_name(self):
+        with pytest.raises(GraphError, match="unknown kernel"):
+            kernels.get("frobnicate")
+
+
+class TestProbe:
+    def test_import_emits_no_warnings(self):
+        # The satellite contract: `import repro` is silent without numba.
+        code = "import warnings; warnings.simplefilter('error'); import repro"
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stderr.strip() == ""
+
+    def test_probe_state_is_consistent(self):
+        if kernels.numba_available():
+            assert kernels.probe_error() is None
+            assert kernels.numba_version()
+        else:
+            assert kernels.probe_error()
+            assert kernels.numba_version() is None
+
+    def test_describe_shape(self):
+        d = kernels.describe()
+        assert set(d["kernels"]) == set(kernels.KERNEL_NAMES)
+        assert d["default_tier"] in kernels.TIERS
+        assert d["available"] == kernels.numba_available()
+
+    @requires_numba
+    def test_compiled_kernels_are_dispatchers(self):
+        # With numba installed every kernel must be a JIT Dispatcher.
+        for name in kernels.KERNEL_NAMES:
+            assert hasattr(kernels.get(name), "py_func"), name
+
+
+class TestBulkopsInteraction:
+    def test_scalar_tier_overrides_use_bulkops(self):
+        rep = DynArrAdjacency(8)
+        rep.use_bulkops = True
+        rep.kernel_tier = "scalar"
+        assert not bulkops.enabled(rep, 10_000)
+
+    def test_vectorised_tier_keeps_bulkops_dispatch(self):
+        rep = DynArrAdjacency(8)
+        rep.use_bulkops = True
+        rep.kernel_tier = "vectorised"
+        assert bulkops.enabled(rep, 10_000)
+
+    def test_scalar_tier_applies_scalar_semantics(self):
+        rng = np.random.default_rng(0)
+        op = np.where(rng.random(300) < 0.6, 1, -1).astype(np.int8)
+        src = rng.integers(0, 8, 300)
+        dst = rng.integers(0, 8, 300)
+        a = DynArrAdjacency(8)
+        a.use_bulkops = True
+        a.kernel_tier = "scalar"
+        b = DynArrAdjacency(8)
+        m_a = a.apply_arcs(op, src, dst)
+        m_b = b.apply_arcs_scalar(op, src, dst)
+        assert m_a == m_b
+        from dataclasses import asdict
+
+        assert asdict(a.stats) == asdict(b.stats)

@@ -1,0 +1,96 @@
+"""End-to-end compiled-vs-default bit-identity through the public APIs.
+
+Each test runs a whole workload twice — once at the explicitly-pinned
+``vectorised`` tier, once at ``compiled`` (under ``force_available`` so the
+path is driven with or without numba) — and diffs every observable:
+labels, parents, hop totals, counters, profile metadata.
+"""
+
+import numpy as np
+
+from repro import kernels
+from repro.adjacency.csr import build_csr
+from repro.core.components import connected_components
+from repro.core.connectivity import ConnectivityIndex
+from repro.core.linkcut import LinkCutForest
+from repro.generators.rmat import rmat_graph
+
+
+def _csr(scale=9, seed=17):
+    return build_csr(rmat_graph(scale=scale, edge_factor=8, seed=seed))
+
+
+def test_connected_components_tiers(monkeypatch):
+    g = _csr()
+    monkeypatch.setenv(kernels.ENV_VAR, "vectorised")
+    ref = connected_components(g)
+    monkeypatch.setenv(kernels.ENV_VAR, "compiled")
+    with kernels.force_available():
+        jit = connected_components(g)
+    np.testing.assert_array_equal(jit.labels, ref.labels)
+    assert (jit.n_passes, jit.jump_rounds, jit.arcs_processed) == (
+        ref.n_passes,
+        ref.jump_rounds,
+        ref.arcs_processed,
+    )
+    assert ref.meta["kernel_tier"] == "vectorised"
+    assert jit.meta["kernel_tier"] == "compiled"
+    # The tier rides into the work profile's meta.
+    assert jit.profile(g).meta["kernel_tier"] == "compiled"
+
+
+def test_forest_construction_and_queries_tiers(monkeypatch):
+    g = _csr(seed=23)
+    monkeypatch.setenv(kernels.ENV_VAR, "vectorised")
+    f_ref, rec_ref = LinkCutForest.from_csr(g)
+    monkeypatch.setenv(kernels.ENV_VAR, "compiled")
+    with kernels.force_available():
+        f_jit, rec_jit = LinkCutForest.from_csr(g)
+    np.testing.assert_array_equal(f_jit.parent, f_ref.parent)
+    assert rec_jit.max_depth == rec_ref.max_depth
+
+    rng = np.random.default_rng(2)
+    us = rng.integers(0, g.n, 4000).astype(np.int64)
+    vs = rng.integers(0, g.n, 4000).astype(np.int64)
+    monkeypatch.setenv(kernels.ENV_VAR, "vectorised")
+    ref = ConnectivityIndex(f_ref).query_batch(us, vs)
+    monkeypatch.setenv(kernels.ENV_VAR, "compiled")
+    with kernels.force_available():
+        jit = ConnectivityIndex(f_jit).query_batch(us, vs)
+    np.testing.assert_array_equal(jit.connected, ref.connected)
+    assert jit.total_hops == ref.total_hops
+    assert ref.profile.meta["kernel_tier"] == "vectorised"
+    assert jit.profile.meta["kernel_tier"] == "compiled"
+
+
+def test_insert_batch_tiers(monkeypatch):
+    g = _csr(scale=8, seed=29)
+    rng = np.random.default_rng(5)
+    us = rng.integers(0, g.n, 1500).astype(np.int64)
+    vs = rng.integers(0, g.n, 1500).astype(np.int64)
+    for rule, comp in (("rank", "halving"), ("size", "none"), ("rem", "splitting")):
+        monkeypatch.setenv(kernels.ENV_VAR, "vectorised")
+        idx_ref = ConnectivityIndex.from_csr(g)
+        ref = idx_ref.insert_batch(us, vs, union_rule=rule, compaction=comp)
+        monkeypatch.setenv(kernels.ENV_VAR, "compiled")
+        with kernels.force_available():
+            idx_jit = ConnectivityIndex.from_csr(g)
+            jit = idx_jit.insert_batch(us, vs, union_rule=rule, compaction=comp)
+        np.testing.assert_array_equal(jit.linked, ref.linked)
+        np.testing.assert_array_equal(idx_jit.forest.parent, idx_ref.forest.parent)
+        assert jit.total_hops == ref.total_hops
+        assert jit.profile.meta["counters"] == ref.profile.meta["counters"]
+        assert jit.profile.meta["kernel_tier"] == "compiled"
+
+
+def test_scalar_tier_findroot_batch_matches(monkeypatch):
+    monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+    g = _csr(scale=8, seed=31)
+    f_ref, _ = LinkCutForest.from_csr(g)
+    f_sca, _ = LinkCutForest.from_csr(g)
+    f_sca.kernel_tier = "scalar"
+    rng = np.random.default_rng(9)
+    q = rng.integers(0, g.n, 700).astype(np.int64)
+    h_ref, h_sca = f_ref.hops, f_sca.hops
+    np.testing.assert_array_equal(f_sca.findroot_batch(q), f_ref.findroot_batch(q))
+    assert f_sca.hops - h_sca == f_ref.hops - h_ref

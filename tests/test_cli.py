@@ -271,6 +271,38 @@ class TestBench:
         assert "error:" in capsys.readouterr().out
 
 
+class TestKernels:
+    """``repro kernels``: the compiled-tier dispatch state report."""
+
+    def test_reports_dispatch_state(self, capsys):
+        from repro import kernels
+
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled tier" in out
+        assert "default tier" in out
+        for name in kernels.KERNEL_NAMES:
+            assert name in out
+        assert "repro.adjacency.bulkops.apply_mixed" in out
+
+    def test_warmup_flag_reports_compile_cost(self, capsys):
+        assert main(["kernels", "--warmup"]) == 0
+        out = capsys.readouterr().out
+        assert "warmup: tier" in out
+        assert "compile" in out
+
+    def test_unsatisfiable_env_tier_exits_nonzero(self, monkeypatch, capsys):
+        from repro import kernels
+
+        if kernels.numba_available():
+            pytest.skip("compiled tier is satisfiable with numba installed")
+        monkeypatch.setenv(kernels.ENV_VAR, "compiled")
+        assert main(["kernels"]) == 1
+        out = capsys.readouterr().out
+        assert "resolved tier : error" in out
+        assert "repro[jit]" in out
+
+
 class TestObs:
     """The ``repro obs`` family: serve a workload, scrape it, inspect it."""
 
