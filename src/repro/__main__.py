@@ -40,7 +40,13 @@ Commands:
   ``obs serve`` runs a workload with the background collector on and an
   OpenMetrics endpoint up, ``obs scrape`` fetches (and with ``--check``
   structurally validates) a payload from a running endpoint, ``obs top``
-  renders the collector's windowed rollups as a terminal table.
+  renders the collector's windowed rollups as a terminal table;
+* ``serve`` — the streaming connectivity service (docs/SERVICE.md): boot
+  an HTTP query front end over epoch-rotated CSR snapshots while a writer
+  thread drains an R-MAT update stream into the dynamic structure.
+  ``--backend process --workers N`` shards ``/components`` across worker
+  processes; ``--duration`` holds the server up for scrapes and external
+  query drivers; ``--report`` writes a JSON latency/throughput summary.
 
 The figure reproductions live under ``python -m repro.experiments``.
 """
@@ -586,6 +592,103 @@ def cmd_obs_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the streaming connectivity service over an R-MAT update stream.
+
+    A feeder thread pushes :func:`~repro.generators.parallel
+    .iter_update_chunks` batches through the service's writer while the
+    asyncio front end answers queries from pinned epochs.  The server stays
+    up until the stream is drained *and* ``--duration`` has elapsed, so an
+    external driver (CI's ``tools/check_service.py``, ``repro obs scrape``)
+    has a live endpoint to hit.  ``--url-file`` publishes the bound URL;
+    ``--report`` writes a JSON summary (stats + query-latency quantiles).
+    """
+    import json
+    import threading
+    import time as time_mod
+
+    from repro import obs
+    from repro.api import DynamicGraph
+    from repro.generators.parallel import iter_update_chunks
+    from repro.service import GraphService, ShardRouter
+
+    obs.METRICS.reset()
+    collector = obs.enable_live_telemetry(interval=args.interval)
+    n = 1 << args.scale
+    graph = DynamicGraph(n, representation=args.representation)
+    router = (
+        ShardRouter(workers=args.workers) if args.backend == "process" else None
+    )
+    service = GraphService(
+        graph,
+        router=router,
+        kernel_tier=args.kernel_tier,
+        query_threads=args.query_threads,
+        rotate_min_interval=args.rotate_interval,
+    )
+    handle = service.start_background(host=args.host, port=args.port)
+    if args.url_file:
+        Path(args.url_file).write_text(handle.url + "\n")
+    _say(args, f"serving {args.representation} graph n=2^{args.scale} on {handle.url} "
+               f"(backend={args.backend})")
+
+    total_edges = args.edges if args.edges else n * args.edge_factor
+    feeder_error: list[BaseException] = []
+
+    def feed() -> None:
+        try:
+            for chunk in iter_update_chunks(
+                args.scale, total_edges, edge_factor=args.edge_factor,
+                seed=args.seed, chunk_edges=args.chunk_edges,
+            ):
+                handle.submit(chunk)
+                if args.throttle:
+                    time_mod.sleep(args.throttle)
+        except BaseException as exc:  # noqa: BLE001 - reported by the parent
+            feeder_error.append(exc)
+
+    feeder = threading.Thread(target=feed, name="repro-serve-feeder", daemon=True)
+    started = time_mod.monotonic()
+    feeder.start()
+    try:
+        feeder.join()
+        remaining = args.duration - (time_mod.monotonic() - started)
+        if remaining > 0:
+            _say(args, f"stream drained; holding the server up {remaining:.1f}s more")
+            time_mod.sleep(remaining)
+    except KeyboardInterrupt:
+        _say(args, "interrupted; shutting down")
+    finally:
+        collector.tick()
+        stats = service._q_stats()
+        lat = obs.METRICS.histogram("service.query.seconds")
+        report = {
+            "url": handle.url,
+            "scale": args.scale,
+            "backend": args.backend,
+            "stats": stats,
+            "max_epoch_lag": service.drainer.max_observed_lag,
+            "query_latency_seconds": {
+                "count": lat.count,
+                "p50": lat.quantile(0.50),
+                "p99": lat.quantile(0.99),
+            },
+        }
+        if args.report:
+            Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+            _say(args, f"wrote service report -> {args.report}")
+        handle.close()
+        obs.disable_live_telemetry()
+        _say(args, f"applied {stats['updates_applied']} updates in "
+                   f"{stats['batches_applied']} batch(es) across "
+                   f"{stats['epochs_published']} epoch(s); "
+                   f"answered {stats['queries']} query(ies)")
+    if feeder_error:
+        print(f"error: update feeder failed: {feeder_error[0]!r}")
+        return 1
+    return 0
+
+
 def cmd_obs_scrape(args: argparse.Namespace) -> int:
     """One-shot scrape of a running endpoint; optionally validate/save it."""
     import urllib.error
@@ -796,6 +899,49 @@ def build_parser() -> argparse.ArgumentParser:
                     help="show only the N busiest series (default: all)")
     sp.add_argument("--timeout", type=float, default=10.0)
     sp.set_defaults(fn=cmd_obs_top)
+
+    p = sub.add_parser(
+        "serve",
+        help="streaming connectivity service: queries over epoch-rotated snapshots",
+    )
+    p.add_argument("--scale", type=int, default=14, help="n = 2^scale (default: 14)")
+    p.add_argument("--edge-factor", type=int, default=8)
+    p.add_argument("--edges", type=int, default=None,
+                   help="total stream edges (default: n * edge-factor)")
+    p.add_argument("--chunk-edges", type=int, default=4096,
+                   help="edges per update batch (default: 4096)")
+    p.add_argument("--representation", default="hybrid",
+                   choices=["dynarr", "dynarr-nr", "treap", "hybrid", "vpart",
+                            "epart", "batched"])
+    p.add_argument("--backend", default="serial", choices=["serial", "process"],
+                   help="components execution: serial kernel or sharded workers")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for --backend process")
+    p.add_argument("--kernel-tier", default=None,
+                   choices=["python", "scalar", "vector", "compiled"],
+                   help="kernel tier override for the serial query kernels")
+    p.add_argument("--query-threads", type=int, default=4,
+                   help="query executor width (default: 4)")
+    p.add_argument("--rotate-interval", type=float, default=0.0,
+                   help="min seconds between epoch publishes (default: 0 = "
+                        "rotate every batch)")
+    p.add_argument("--throttle", type=float, default=0.0,
+                   help="seconds to sleep between stream batches (default: 0)")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="keep serving at least this many seconds (default: "
+                        "0 = exit once the stream drains)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = ephemeral; see --url-file)")
+    p.add_argument("--url-file", default=None, metavar="PATH",
+                   help="write the bound base URL here once serving")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="write a JSON stats + latency report on shutdown")
+    p.add_argument("--interval", type=float, default=0.25,
+                   help="live-collector scrape interval (default: 0.25)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--quiet", "-q", action="store_true")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("simulate", help="sweep a workload on a simulated machine")
     p.add_argument("graph")

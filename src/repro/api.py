@@ -243,14 +243,21 @@ class DynamicGraph:
         The cache key is the representation's monotonic mutation counter, so
         any structural change — including a balanced insert+delete mix that
         leaves the live arc count unchanged — invalidates the cache.
-        ``refresh=True`` still forces a rebuild unconditionally.
+        ``refresh=True`` still forces a rebuild unconditionally; a forced
+        rebuild of an *unchanged* structure ticks
+        ``api.snapshot_forced_rebuilds`` instead of ``api.snapshot_rebuilds``,
+        so the rebuild counter tracks structural staleness only (the
+        service's epoch-lag accounting depends on that distinction).
         """
         key = self.rep.mutation_count
         if refresh or self._snapshot is None or self._snapshot_key != key:
+            forced = refresh and self._snapshot is not None and self._snapshot_key == key
             with span("api.snapshot", n=self.n, arcs=self.rep.n_arcs):
                 self._snapshot = csr_from_representation(self.rep)
             self._snapshot_key = self.rep.mutation_count
-            METRICS.inc("api.snapshot_rebuilds")
+            METRICS.inc(
+                "api.snapshot_forced_rebuilds" if forced else "api.snapshot_rebuilds"
+            )
         else:
             METRICS.inc("api.snapshot_cache_hits")
         return self._snapshot

@@ -19,6 +19,7 @@ __all__ = [
     "NotInForestError",
     "ParallelError",
     "WorkerCrashError",
+    "ServiceError",
 ]
 
 
@@ -64,4 +65,14 @@ class WorkerCrashError(ParallelError):
     Raised by :class:`repro.parallel.pool.WorkerPool` when a worker process
     exits abnormally mid-task or reports an exception, so callers see a
     clean error instead of a hang on a half-finished round.
+    """
+
+
+class ServiceError(ReproError):
+    """The streaming connectivity service was misused or is unavailable.
+
+    Raised by :mod:`repro.service` for protocol violations (querying before
+    the first epoch is published, unbalanced epoch releases, submitting to a
+    closed drainer) — never for query-level input errors, which surface as
+    HTTP 400s carrying the underlying :class:`GraphError` message.
     """

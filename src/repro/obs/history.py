@@ -11,11 +11,17 @@ axis: every bench run appends one JSONL record to
 
     {"recorded": "2026-08-06T12:00:00Z", "manifest_id": "...",
      "git_sha": "...", "n_kernels": 12,
-     "kernels": {"<kernel>": <host_seconds>, ...}}
+     "kernels": {"<kernel>": <host_seconds>, ...},
+     "extra_info": {"<kernel>": {"update_mups": 0.07, ...}, ...}}
 
 — so ``python -m repro bench diff <A> <B>`` can print per-kernel deltas
 between any two recorded runs and ``python -m repro bench trend`` can
 walk a kernel's whole trajectory and flag drift beyond a threshold.
+``extra_info`` carries each kernel's *scalar* side numbers (throughput,
+latency quantiles, identity flags — e.g. the service benchmark's query
+p99 and update MUPS) so the ledger is self-contained; nested series stay
+in ``BENCH_repro.json``.  ``diff``/``trend`` read only ``kernels``, so
+older records without the field remain fully usable.
 
 Records are selected by position (``0``, ``-1``, ``-2`` like Python
 indexing, or the aliases ``latest``/``previous``/``first``) or by a
@@ -75,19 +81,33 @@ def history_record(
     """
     m = dict(manifest) if manifest is not None else ensure_manifest().to_dict()
     kernels: dict[str, float] = {}
+    extras: dict[str, dict[str, Any]] = {}
     for entry in entries:
         if not isinstance(entry, Mapping):
             continue
         value = _kernel_value(entry)
-        if value is not None:
-            kernels[str(entry.get("kernel"))] = value
-    return {
+        if value is None:
+            continue
+        name = str(entry.get("kernel"))
+        kernels[name] = value
+        info = entry.get("extra_info")
+        if isinstance(info, Mapping):
+            scalars = {
+                k: v for k, v in info.items()
+                if isinstance(v, (int, float, bool, str)) and not k.startswith("_")
+            }
+            if scalars:
+                extras[name] = scalars
+    record: dict[str, Any] = {
         "recorded": m.get("created"),
         "manifest_id": m.get("id"),
         "git_sha": m.get("git_sha"),
         "n_kernels": len(kernels),
         "kernels": kernels,
     }
+    if extras:
+        record["extra_info"] = extras
+    return record
 
 
 def append_bench_history(

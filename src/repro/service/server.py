@@ -1,0 +1,365 @@
+"""Asyncio HTTP front end: concurrent graph queries over pinned epochs.
+
+One :class:`GraphService` ties the service pieces together — the
+:class:`~repro.service.epoch.EpochStore` readers pin, the
+:class:`~repro.service.drainer.UpdateDrainer` that is the structure's only
+writer, and an optional :class:`~repro.service.shards.ShardRouter` for
+process-sharded components queries.  The event loop only parses requests
+and shapes responses; every graph kernel runs on a small thread pool
+(``run_in_executor``) with its epoch pinned for exactly the kernel's
+duration, so a slow query neither blocks the accept loop nor the writer.
+
+Endpoints (GET, JSON unless noted):
+
+* ``/healthz`` — liveness + current epoch id
+* ``/stats`` — epochs published/live, queue depth, update/query counters
+* ``/connected?u=&v=`` — same-component test via the epoch's cached labels
+* ``/components[?full=1]`` — component count/largest (``full`` adds labels)
+* ``/component?v=`` — one vertex's label and component size
+* ``/bfs?source=[&ts_lo=&ts_hi=][&full=1]`` — traversal summary
+  (``full`` adds the distance array)
+* ``/metrics`` — OpenMetrics text exposition of the process registry
+
+Errors map onto status codes: bad input (unknown vertex, malformed
+parameter) is a 400 carrying the :class:`~repro.errors.GraphError` message;
+an unknown path is a 404; service-protocol failures are 503.  A crashed
+shard worker is recovered transparently (``pool.restart()`` + one retry,
+then serial fallback) — the query still answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Optional
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from repro.api import DynamicGraph
+from repro.core.bfs import bfs
+from repro.core.components import connected_components
+from repro.errors import GraphError, ServiceError, WorkerCrashError
+from repro.obs import METRICS, to_openmetrics
+from repro.service.drainer import UpdateDrainer
+from repro.service.epoch import Epoch, EpochStore
+from repro.service.shards import ShardRouter
+
+__all__ = ["GraphService", "ServiceHandle"]
+
+_MAX_REQUEST_BYTES = 65536
+
+
+class GraphService:
+    """The serving runtime: one graph, one writer, many pinned readers.
+
+    Parameters
+    ----------
+    graph:
+        The :class:`~repro.api.DynamicGraph` to serve.  Once the service
+        starts, all mutation must go through :meth:`submit`.
+    router:
+        Optional :class:`~repro.service.shards.ShardRouter` to execute
+        ``/components`` across worker processes (serial kernel otherwise).
+    kernel_tier:
+        Forwarded to the serial kernels (None = env var / auto-probe).
+    query_threads:
+        Executor width for query kernels (default 4).
+    max_queue / rotate_min_interval:
+        Forwarded to the :class:`~repro.service.drainer.UpdateDrainer`.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        *,
+        router: Optional[ShardRouter] = None,
+        kernel_tier: Optional[str] = None,
+        query_threads: int = 4,
+        max_queue: int = 8,
+        rotate_min_interval: float = 0.0,
+    ) -> None:
+        self.graph = graph
+        self.store = EpochStore()
+        self.drainer = UpdateDrainer(
+            graph, self.store, max_queue=max_queue,
+            rotate_min_interval=rotate_min_interval,
+        )
+        self.router = router
+        self.kernel_tier = kernel_tier
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(query_threads), thread_name_prefix="repro-query"
+        )
+        self.n_queries = 0
+
+    # ------------------------------------------------------------------ #
+    # writer path
+    # ------------------------------------------------------------------ #
+
+    def submit(self, stream: Any, *, timeout: Optional[float] = None) -> None:
+        """Enqueue one update batch onto the drainer (producer backpressure)."""
+        self.drainer.submit(stream, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # query kernels (run on executor threads, epoch pinned inside)
+    # ------------------------------------------------------------------ #
+
+    def _labels(self, epoch: Epoch) -> np.ndarray:
+        """Component labels of one epoch, computed once and memoised."""
+
+        def compute() -> np.ndarray:
+            """Run sharded components, recovering once, else serial fallback."""
+            snap = epoch.snapshot
+            if self.router is not None:
+                try:
+                    return self.router.components(snap)
+                except WorkerCrashError:
+                    self.router.recover()
+                    try:
+                        return self.router.components(snap)
+                    except WorkerCrashError:
+                        METRICS.inc("service.shard.fallbacks")
+            return connected_components(snap, kernel_tier=self.kernel_tier).labels
+
+        labels = epoch.cached("components.labels", compute)
+        assert isinstance(labels, np.ndarray)
+        return labels
+
+    def _q_connected(self, u: int, v: int) -> dict:
+        with self.store.reading() as epoch:
+            snap = epoch.snapshot
+            for name, x in (("u", u), ("v", v)):
+                if not 0 <= x < snap.n:
+                    raise GraphError(f"vertex {name}={x} out of range [0, {snap.n})")
+            labels = self._labels(epoch)
+            return {
+                "u": u, "v": v,
+                "connected": bool(labels[u] == labels[v]),
+                "epoch": epoch.id, "mutations": epoch.mutation_count,
+            }
+
+    def _q_components(self, full: bool) -> dict:
+        with self.store.reading() as epoch:
+            labels = self._labels(epoch)
+            roots, counts = (
+                np.unique(labels, return_counts=True)
+                if labels.size else (np.empty(0, np.int64), np.empty(0, np.int64))
+            )
+            i = int(np.argmax(counts)) if counts.size else -1
+            out = {
+                "n": epoch.snapshot.n,
+                "n_components": int(roots.size),
+                "largest": ([int(roots[i]), int(counts[i])] if i >= 0 else None),
+                "epoch": epoch.id, "mutations": epoch.mutation_count,
+            }
+            if full:
+                out["labels"] = labels.tolist()
+            return out
+
+    def _q_component(self, v: int) -> dict:
+        with self.store.reading() as epoch:
+            snap = epoch.snapshot
+            if not 0 <= v < snap.n:
+                raise GraphError(f"vertex v={v} out of range [0, {snap.n})")
+            labels = self._labels(epoch)
+            label = int(labels[v])
+            return {
+                "v": v, "label": label,
+                "size": int(np.count_nonzero(labels == label)),
+                "epoch": epoch.id,
+            }
+
+    def _q_bfs(self, source: int, ts_range: Optional[tuple], full: bool) -> dict:
+        with self.store.reading() as epoch:
+            res = bfs(epoch.snapshot, source, ts_range=ts_range)
+            out = {
+                "source": source,
+                "n_reached": res.n_reached,
+                "n_levels": res.n_levels,
+                "edges_scanned": res.total_edges_scanned,
+                "epoch": epoch.id, "mutations": epoch.mutation_count,
+            }
+            if full:
+                out["dist"] = res.dist.tolist()
+            return out
+
+    def _q_stats(self) -> dict:
+        cur = self.store.current
+        return {
+            "epoch": cur.id if cur is not None else None,
+            "mutations": cur.mutation_count if cur is not None else None,
+            "arcs": cur.snapshot.n_arcs if cur is not None else None,
+            "epochs_published": self.store.n_published,
+            "epochs_live": self.store.n_live,
+            "epoch_lag": self.store.lag_of(self.graph.rep.mutation_count),
+            "queue_depth": self.drainer.queue_depth,
+            "batches_applied": self.drainer.n_batches,
+            "updates_applied": self.drainer.n_updates,
+            "queries": self.n_queries,
+            "sharded": self.router is not None,
+        }
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+
+    async def _dispatch(self, path: str, params: dict) -> tuple[int, str, str]:
+        """Route one request; returns (status, content_type, body)."""
+
+        def qint(name: str) -> int:
+            """Parse a required integer query parameter or raise GraphError."""
+            vals = params.get(name)
+            if not vals:
+                raise GraphError(f"missing required parameter {name!r}")
+            try:
+                return int(vals[0])
+            except ValueError:
+                raise GraphError(f"parameter {name!r} must be an integer") from None
+
+        full = params.get("full", ["0"])[0] not in ("0", "", "false")
+        fn: Optional[Callable[[], dict]] = None
+        if path == "/healthz":
+            cur = self.store.current
+            return 200, "application/json", json.dumps(
+                {"ok": True, "epoch": cur.id if cur is not None else None}
+            )
+        if path == "/metrics":
+            return 200, "application/openmetrics-text", to_openmetrics(METRICS)
+        if path == "/stats":
+            return 200, "application/json", json.dumps(self._q_stats())
+        if path == "/connected":
+            u, v = qint("u"), qint("v")
+            fn = lambda: self._q_connected(u, v)  # noqa: E731
+        elif path == "/components":
+            fn = lambda: self._q_components(full)  # noqa: E731
+        elif path == "/component":
+            v = qint("v")
+            fn = lambda: self._q_component(v)  # noqa: E731
+        elif path == "/bfs":
+            source = qint("source")
+            ts_range = None
+            if "ts_lo" in params or "ts_hi" in params:
+                ts_range = (qint("ts_lo"), qint("ts_hi"))
+            fn = lambda: self._q_bfs(source, ts_range, full)  # noqa: E731
+        if fn is None:
+            return 404, "application/json", json.dumps({"error": f"no route {path}"})
+        loop = asyncio.get_running_loop()
+        t0 = time.perf_counter()
+        body = await loop.run_in_executor(self._executor, fn)
+        elapsed = time.perf_counter() - t0
+        self.n_queries += 1
+        METRICS.inc("service.queries")
+        METRICS.inc(f"service.query{path.replace('/', '.')}")
+        METRICS.observe("service.query.seconds", elapsed)
+        return 200, "application/json", json.dumps(body)
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """One connection, one request (``Connection: close`` semantics)."""
+        status, ctype, body = 500, "application/json", json.dumps({"error": "internal"})
+        try:
+            raw = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=30.0
+            )
+            if len(raw) > _MAX_REQUEST_BYTES:
+                raise GraphError("request too large")
+            line = raw.split(b"\r\n", 1)[0].decode("latin-1")
+            parts = line.split()
+            if len(parts) != 3 or parts[0] != "GET":
+                status, body = 405, json.dumps({"error": "GET only"})
+            else:
+                url = urlsplit(parts[1])
+                params = parse_qs(url.query)
+                status, ctype, body = await self._dispatch(url.path, params)
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                asyncio.TimeoutError, UnicodeDecodeError):
+            status, body = 400, json.dumps({"error": "malformed request"})
+        except GraphError as exc:
+            status, body = 400, json.dumps({"error": str(exc)})
+        except ServiceError as exc:
+            status, body = 503, json.dumps({"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - last-resort 500, keep serving
+            METRICS.inc("service.http.errors")
+            status, body = 500, json.dumps({"error": f"{type(exc).__name__}: {exc}"})
+        try:
+            payload = body.encode("utf-8")
+            writer.write(
+                f"HTTP/1.1 {status} {'OK' if status == 200 else 'ERR'}\r\n"
+                f"Content-Type: {ctype}; charset=utf-8\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n".encode("latin-1") + payload
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - client gone
+            pass
+        finally:
+            writer.close()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.AbstractServer:
+        """Publish epoch 0, start the drainer, and bind the asyncio server."""
+        self.drainer.start()
+        return await asyncio.start_server(self._handle, host, port)
+
+    def start_background(self, host: str = "127.0.0.1", port: int = 0) -> "ServiceHandle":
+        """Run the server on a daemon event-loop thread; returns a handle."""
+        return ServiceHandle(self, host, port)
+
+    def close(self) -> None:
+        """Drain and stop the writer, query threads, and shard pool."""
+        try:
+            self.drainer.close()
+        finally:
+            self._executor.shutdown(wait=True)
+            if self.router is not None:
+                self.router.close()
+
+
+class ServiceHandle:
+    """A running :class:`GraphService` on its own event-loop thread.
+
+    Gives synchronous callers (tests, the CLI's stream feeder, the CI
+    smoke driver) a bound ``url``, pass-through :meth:`submit`, and a
+    clean :meth:`close` that drains the writer before tearing down.
+    """
+
+    def __init__(self, service: GraphService, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        fut = asyncio.run_coroutine_threadsafe(service.start(host, port), self._loop)
+        self._server = fut.result(timeout=30.0)
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], int(sock[1])
+        self.url = f"http://{self.host}:{self.port}"
+
+    def submit(self, stream: Any, *, timeout: Optional[float] = None) -> None:
+        """Enqueue one update batch (same backpressure as the service)."""
+        self.service.submit(stream, timeout=timeout)
+
+    def close(self) -> None:
+        """Stop accepting, drain pending updates, stop the loop thread."""
+
+        async def _shutdown() -> None:
+            self._server.close()
+            await self._server.wait_closed()
+
+        asyncio.run_coroutine_threadsafe(_shutdown(), self._loop).result(timeout=30.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30.0)
+        self._loop.close()
+        self.service.close()
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

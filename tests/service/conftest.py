@@ -1,0 +1,16 @@
+"""Shared fixtures for the service test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.pool import WorkerPool
+
+
+@pytest.fixture(scope="session")
+def pool():
+    """One shared two-worker pool (crash tests build their own throwaways)."""
+    p = WorkerPool(2, timeout=120.0)
+    p.start()
+    yield p
+    p.shutdown()

@@ -1,0 +1,76 @@
+"""Update drainer: batches applied in order, epochs rotate, errors surface."""
+
+import numpy as np
+import pytest
+
+from repro.api import DynamicGraph
+from repro.core.components import connected_components
+from repro.errors import ServiceError
+from repro.generators.parallel import iter_update_chunks
+from repro.service import EpochStore, UpdateDrainer
+
+SCALE = 9
+
+
+def chunks(seed=11, n_edges=None):
+    n_edges = n_edges if n_edges is not None else 2 * (1 << SCALE)
+    return list(iter_update_chunks(SCALE, n_edges, seed=seed, chunk_edges=512))
+
+
+class TestDrain:
+    def test_all_batches_applied_and_published(self):
+        g = DynamicGraph(1 << SCALE)
+        store = EpochStore()
+        batches = chunks()
+        with UpdateDrainer(g, store) as drainer:
+            for c in batches:
+                drainer.submit(c)
+        assert drainer.n_batches == len(batches)
+        assert drainer.n_updates == sum(len(c) for c in batches)
+        cur = store.current
+        assert cur is not None
+        # final epoch reflects the fully-applied structure
+        assert cur.mutation_count == g.rep.mutation_count
+        assert cur.snapshot.n_arcs == g.rep.n_arcs
+        assert store.n_live == 1
+
+    def test_final_epoch_bit_identical_to_offline_build(self):
+        batches = chunks(seed=23)
+        g = DynamicGraph(1 << SCALE)
+        store = EpochStore()
+        with UpdateDrainer(g, store) as drainer:
+            for c in batches:
+                drainer.submit(c)
+        served = connected_components(store.current.snapshot).labels
+        offline = DynamicGraph(1 << SCALE)
+        for c in batches:
+            offline.apply(c)
+        expected = connected_components(offline.snapshot()).labels
+        assert np.array_equal(served, expected)
+
+    def test_coalescing_still_publishes_final_state(self):
+        g = DynamicGraph(1 << SCALE)
+        store = EpochStore()
+        # An hour between rotations: every intermediate rotation is
+        # coalesced away, yet close() must still publish the final state.
+        with UpdateDrainer(g, store, rotate_min_interval=3600.0) as drainer:
+            for c in chunks():
+                drainer.submit(c)
+        cur = store.current
+        assert cur is not None
+        assert cur.mutation_count == g.rep.mutation_count
+        assert drainer.max_observed_lag > 0  # the lag was seen and recorded
+
+    def test_submit_after_close_raises(self):
+        g = DynamicGraph(8)
+        drainer = UpdateDrainer(g, EpochStore()).start()
+        drainer.close()
+        with pytest.raises(ServiceError):
+            drainer.submit(chunks()[0])
+
+    def test_drain_error_surfaces_on_close(self):
+        g = DynamicGraph(4)  # far too small for the stream's vertex ids
+        drainer = UpdateDrainer(g, EpochStore()).start()
+        drainer.submit(chunks()[0])
+        with pytest.raises(ServiceError, match="drainer died"):
+            drainer.close()

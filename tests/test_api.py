@@ -83,6 +83,25 @@ class TestSnapshotsAndKernels:
         a = g.snapshot()
         assert g.snapshot(refresh=True) is not a
 
+    def test_snapshot_forced_rebuild_counter_split(self, graph):
+        # Regression: refresh=True on an *unchanged* structure used to tick
+        # api.snapshot_rebuilds, polluting the staleness signal epoch-lag
+        # accounting reads.  Forced rebuilds get their own counter.
+        from repro.obs import METRICS
+
+        g = DynamicGraph.from_edgelist(graph)
+        rebuilds = METRICS.counter("api.snapshot_rebuilds")
+        forced = METRICS.counter("api.snapshot_forced_rebuilds")
+        g.snapshot()  # cold cache: a real rebuild
+        r0, f0 = rebuilds.value, forced.value
+        g.snapshot(refresh=True)  # unchanged structure: forced only
+        assert rebuilds.value == r0
+        assert forced.value == f0 + 1
+        g.insert_edge(0, 1)
+        g.snapshot(refresh=True)  # stale cache: a real rebuild even if forced
+        assert rebuilds.value == r0 + 1
+        assert forced.value == f0 + 1
+
     def test_snapshot_not_stale_after_balanced_mix(self):
         # Regression: the cache used to key on the live arc count, so an
         # insert+delete mix that left the count unchanged returned a stale
