@@ -613,11 +613,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import GraphService, ShardRouter
 
     obs.METRICS.reset()
+    obs.EXEMPLARS.clear()
     collector = obs.enable_live_telemetry(interval=args.interval)
     n = 1 << args.scale
     graph = DynamicGraph(n, representation=args.representation)
     router = (
         ShardRouter(workers=args.workers) if args.backend == "process" else None
+    )
+    tracer = (
+        None
+        if args.no_reqtrace
+        else obs.RequestTracer(
+            head_every=args.head_every,
+            slow_threshold_seconds=args.slow_ms / 1000.0,
+        )
     )
     service = GraphService(
         graph,
@@ -625,7 +634,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         kernel_tier=args.kernel_tier,
         query_threads=args.query_threads,
         rotate_min_interval=args.rotate_interval,
+        reqtrace=tracer if tracer is not None else False,
     )
+    # SLO burn-rate alerts ride the collector's watchdog channel, next to
+    # the worker-health alerts (when the process backend has a pool).
+    watchdog = obs.Watchdog(router.pool if router is not None else None)
+    watchdog.attach_slo(service.slo_query)
+    watchdog.attach_slo(service.slo_update)
+    collector.attach_watchdog(watchdog)
     handle = service.start_background(host=args.host, port=args.port)
     if args.url_file:
         Path(args.url_file).write_text(handle.url + "\n")
@@ -672,6 +688,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 "count": lat.count,
                 "p50": lat.quantile(0.50),
                 "p99": lat.quantile(0.99),
+            },
+            "slo": service._q_slo()["slos"],
+            "alerts": list(watchdog.alerts),
+            "reqtrace": {
+                "config": tracer.config() if tracer is not None else None,
+                "slow_captured": len(tracer.slow()) if tracer is not None else 0,
+                "slow": tracer.slow() if tracer is not None else [],
             },
         }
         if args.report:
@@ -736,6 +759,50 @@ def cmd_obs_top(args: argparse.Namespace) -> int:
         return 2
     print(format_rollups(payload.get("rollups", {}), top=args.top))
     return 0
+
+
+def cmd_obs_slo(args: argparse.Namespace) -> int:
+    """Render a running service's SLO burn-rate state from ``GET /slo``."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/slo"
+    try:
+        payload = json.loads(
+            urllib.request.urlopen(url, timeout=args.timeout).read().decode()
+        )
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"error: fetch of {url} failed: {exc}")
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    any_breach = False
+    for name in sorted(payload.get("slos", {})):
+        state = payload["slos"][name]
+        windows = "/".join(f"{w:g}s" for w in state.get("windows_seconds", []))
+        print(f"{name}  windows={windows}  "
+              f"burn-threshold={state.get('burn_threshold')}")
+        for kind in sorted(state.get("objectives", {})):
+            obj = state["objectives"][kind]
+            rates = " ".join(
+                f"{w}={obj['burn_rates'][w]:.2f}"
+                for w in sorted(obj.get("burn_rates", {}))
+            )
+            flag = "BREACHING" if obj.get("breaching") else "ok"
+            any_breach = any_breach or bool(obj.get("breaching"))
+            line = f"  {kind:<12} objective={obj.get('objective')}"
+            if obj.get("threshold_seconds") is not None:
+                line += f" threshold={obj['threshold_seconds']:g}s"
+            print(f"{line}  burn[{rates}]  {flag}")
+        totals = state.get("totals", {})
+        print(f"  totals: {totals.get('events', 0)} events "
+              f"({totals.get('errors', 0)} errors, {totals.get('slow', 0)} slow); "
+              f"{state.get('n_alerts', 0)} alert(s)")
+        for alert in state.get("alerts", []):
+            print(f"  alert: {alert.get('kind')} burn={alert.get('burn_rates')}")
+    return 1 if args.fail_on_breach and any_breach else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -900,6 +967,17 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--timeout", type=float, default=10.0)
     sp.set_defaults(fn=cmd_obs_top)
 
+    sp = obs_sub.add_parser(
+        "slo", help="burn-rate state of a running service's SLO trackers"
+    )
+    sp.add_argument("url", help="service base URL (GraphService /slo endpoint)")
+    sp.add_argument("--json", action="store_true",
+                    help="print the raw /slo payload instead of the table")
+    sp.add_argument("--fail-on-breach", action="store_true",
+                    help="exit 1 when any objective is currently breaching")
+    sp.add_argument("--timeout", type=float, default=10.0)
+    sp.set_defaults(fn=cmd_obs_slo)
+
     p = sub.add_parser(
         "serve",
         help="streaming connectivity service: queries over epoch-rotated snapshots",
@@ -939,6 +1017,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a JSON stats + latency report on shutdown")
     p.add_argument("--interval", type=float, default=0.25,
                    help="live-collector scrape interval (default: 0.25)")
+    p.add_argument("--head-every", type=int, default=10,
+                   help="head sampling: keep every Nth request trace "
+                        "(default: 10; 0 keeps only slow requests)")
+    p.add_argument("--slow-ms", type=float, default=100.0,
+                   help="tail sampling: requests at or above this latency are "
+                        "always captured into /debug/slow (default: 100)")
+    p.add_argument("--no-reqtrace", action="store_true",
+                   help="disable per-request tracing and slow-query capture")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--quiet", "-q", action="store_true")
     p.set_defaults(fn=cmd_serve)

@@ -17,8 +17,14 @@ machine-independent work accounting in :mod:`repro.machine.profile` (see
   ``python -m repro bench diff/trend``;
 * :mod:`repro.obs.live` — background telemetry collector (ring-buffer
   time series with windowed rollups) and the worker watchdog;
-* :mod:`repro.obs.expose` — OpenMetrics text exposition, payload
-  validator and the ``repro obs serve`` HTTP endpoint.
+* :mod:`repro.obs.expose` — OpenMetrics text exposition (with latency
+  exemplars), payload validator and the ``repro obs serve`` HTTP
+  endpoint;
+* :mod:`repro.obs.reqtrace` — context-carried per-request span trees
+  with deterministic head sampling, tail capture of slow requests into a
+  bounded store, and the latency exemplar store;
+* :mod:`repro.obs.slo` — rolling availability/latency objectives with
+  multi-window burn-rate alerting feeding the watchdog alert stream.
 
 Typical use (what ``python -m repro trace`` does):
 
@@ -57,6 +63,16 @@ from repro.obs.live import (
     live_telemetry_enabled,
 )
 from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.reqtrace import (
+    EXEMPLARS,
+    ExemplarStore,
+    RequestTrace,
+    RequestTracer,
+    bind,
+    current_trace,
+    rspan,
+)
+from repro.obs.slo import SloTracker
 from repro.obs.prof import (
     MemoryProfiler,
     current_memory_profiler,
@@ -123,6 +139,14 @@ __all__ = [
     "TelemetryServer",
     "to_openmetrics",
     "validate_openmetrics",
+    "RequestTrace",
+    "RequestTracer",
+    "ExemplarStore",
+    "EXEMPLARS",
+    "current_trace",
+    "rspan",
+    "bind",
+    "SloTracker",
     "MemoryProfiler",
     "enable_memory_profiling",
     "disable_memory_profiling",

@@ -210,11 +210,16 @@ class Watchdog:
 
     Alerts are de-duplicated per (worker, kind, task) episode so a stuck
     worker produces one alert, not one per scrape.
+
+    ``pool`` may be None for an SLO-only watchdog: worker classification is
+    skipped and :meth:`check` only evaluates the trackers registered via
+    :meth:`attach_slo`, whose ``slo_burn_*`` alerts are folded into
+    :attr:`alerts` alongside the worker ones.
     """
 
     def __init__(
         self,
-        pool: Any,
+        pool: Any = None,
         *,
         stall_after: float = 5.0,
         rss_limit_bytes: Optional[int] = None,
@@ -228,6 +233,20 @@ class Watchdog:
         self.clock = clock
         self.alerts: list[dict[str, Any]] = []
         self._episodes: set[tuple[Any, ...]] = set()
+        #: Attached SLO trackers and how many of their alerts we've copied.
+        self._slos: list[Any] = []
+        self._slo_seen: dict[int, int] = {}
+
+    def attach_slo(self, tracker: Any) -> Any:
+        """Fold an :class:`~repro.obs.slo.SloTracker`'s alerts into this watchdog.
+
+        Every :meth:`check` also runs ``tracker.check()`` and copies any
+        alerts the tracker raised since the last check (including ones
+        raised out-of-band) into :attr:`alerts`.  Returns the tracker.
+        """
+        self._slos.append(tracker)
+        self._slo_seen[id(tracker)] = len(tracker.alerts)
+        return tracker
 
     # -- classification ------------------------------------------------- #
 
@@ -253,6 +272,15 @@ class Watchdog:
         """Classify every worker once; returns the *newly raised* alerts."""
         t = self.clock() if now is None else now
         new: list[dict[str, Any]] = []
+        for tracker in self._slos:
+            tracker.check()  # tracker uses its own clock (may differ from ours)
+            seen = self._slo_seen.get(id(tracker), 0)
+            fresh = list(tracker.alerts[seen:])
+            self._slo_seen[id(tracker)] = seen + len(fresh)
+            self.alerts.extend(fresh)
+            new.extend(fresh)
+        if self.pool is None:
+            return new
         health: Iterable[Mapping[str, Any]] = self.pool.worker_health()
         beats: Mapping[int, Mapping[str, Any]] = self.pool.heartbeats()
         for h in health:

@@ -1,0 +1,509 @@
+"""Per-request tracing: context-carried span trees across the service stack.
+
+A served query crosses four execution domains — the asyncio route, the
+query :class:`~concurrent.futures.ThreadPoolExecutor`, the epoch-pinned
+kernel, and (for sharded ``/components``) :class:`~repro.parallel.pool.WorkerPool`
+processes.  The module-global :class:`~repro.obs.trace.Tracer` cannot
+attribute spans to *one request* once several run concurrently, so this
+module adds a request-scoped layer on top of it:
+
+* :class:`RequestTrace` — one request's span tree.  It is carried in a
+  :class:`~contextvars.ContextVar` (:func:`current_trace`), acts as its own
+  root span, and hands out child spans via :meth:`RequestTrace.span` /
+  the module-level :func:`rspan` helper (a no-op when no trace is active).
+  Events use the exact dict shape of :class:`~repro.obs.trace.Span`, so the
+  Chrome-trace / speedscope exporters in :mod:`repro.obs.export` render
+  request trees unchanged.
+* :class:`RequestTracer` — the per-service store.  **Head sampling** is
+  deterministic (every ``head_every``-th request keeps its spans);
+  **tail sampling** always keeps requests whose total latency breaches
+  ``slow_threshold_seconds``, into a bounded in-memory slow-query store
+  (served at ``GET /debug/slow``).
+* :func:`bind` / :func:`activate` — explicit context propagation.
+  ``contextvars`` do **not** flow into ``loop.run_in_executor`` callables
+  (unlike ``asyncio.to_thread``), so the service wraps executor functions
+  with :func:`bind`; the drainer thread wraps batch application with
+  :func:`activate`.
+* Cross-process propagation: :meth:`RequestTrace.context` is the wire
+  form (``trace_id``/``request_id``) the :class:`~repro.parallel.pool.WorkerPool`
+  task envelope carries, and :meth:`RequestTrace.adopt` folds the span
+  events a worker shipped back into the requesting trace.
+* :class:`ExemplarStore` — most-recent trace id per latency-histogram
+  bucket, rendered as OpenMetrics exemplars by
+  :func:`repro.obs.expose.to_openmetrics`.
+
+See docs/OBSERVABILITY.md ("Request tracing & SLOs") for the sampling
+rules and docs/SERVICE.md for the served endpoints.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from bisect import bisect_left
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator, Optional, TypeVar, Union
+
+from repro.obs.metrics import BUCKET_BOUNDS, METRICS, MetricsRegistry
+
+__all__ = [
+    "RequestTrace",
+    "RequestTracer",
+    "ExemplarStore",
+    "EXEMPLARS",
+    "current_trace",
+    "rspan",
+    "activate",
+    "bind",
+]
+
+_T = TypeVar("_T")
+
+#: The active request trace for this execution context (thread / task).
+_CURRENT: ContextVar[Optional["RequestTrace"]] = ContextVar(
+    "repro_request_trace", default=None
+)
+
+
+def current_trace() -> Optional["RequestTrace"]:
+    """The :class:`RequestTrace` active in this context, or None."""
+    return _CURRENT.get()
+
+
+class _NullRequestSpan:
+    """Inert span handed out when no request trace is active."""
+
+    __slots__ = ()
+    enabled = False
+
+    def __enter__(self) -> "_NullRequestSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullRequestSpan":
+        """Ignore attributes (no active trace)."""
+        return self
+
+
+_NULL_RSPAN = _NullRequestSpan()
+
+
+class _RequestSpan:
+    """One recorded interval inside a :class:`RequestTrace` (context manager)."""
+
+    __slots__ = ("trace", "name", "span_id", "parent_id", "attrs", "t_start", "duration")
+    enabled = True
+
+    def __init__(
+        self,
+        trace: "RequestTrace",
+        name: str,
+        span_id: int,
+        parent_id: int,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.trace = trace
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.t_start = 0.0
+        self.duration = 0.0
+
+    def set(self, **attrs: Any) -> "_RequestSpan":
+        """Attach/override attributes on this span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_RequestSpan":
+        self.trace._push(self.span_id)
+        self.t_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.duration = time.perf_counter() - self.t_start
+        self.trace._pop(self.span_id)
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.trace._record(self)
+        return False
+
+
+class RequestTrace:
+    """One request's span tree, carried by context across threads/processes.
+
+    The trace itself is the root span (``span_id == ROOT_ID``, synthesised
+    by :meth:`RequestTracer.finish` with the whole-request duration); child
+    spans opened while no other span is on the stack parent at the root,
+    which is what stitches executor-thread and drainer-thread spans into a
+    single connected tree.
+    """
+
+    ROOT_ID = 1
+
+    __slots__ = (
+        "tracer",
+        "trace_id",
+        "request_id",
+        "name",
+        "kind",
+        "sampled_head",
+        "attrs",
+        "events",
+        "t_start",
+        "duration",
+        "n_dropped",
+        "_ids",
+        "_stack",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        tracer: "RequestTracer",
+        trace_id: str,
+        request_id: int,
+        name: str,
+        kind: str,
+        sampled_head: bool,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.request_id = request_id
+        self.name = name
+        self.kind = kind
+        self.sampled_head = sampled_head
+        self.attrs = attrs
+        self.events: list[dict[str, Any]] = []
+        self.t_start = time.perf_counter()
+        self.duration = 0.0
+        self.n_dropped = 0
+        self._ids = itertools.count(self.ROOT_ID + 1)
+        self._stack: list[int] = []
+        self._lock = threading.Lock()
+
+    # -------------------------------------------------------------- #
+    # span recording
+    # -------------------------------------------------------------- #
+
+    def span(self, name: str, **attrs: Any) -> _RequestSpan:
+        """Open a child span (use as a context manager)."""
+        with self._lock:
+            parent = self._stack[-1] if self._stack else self.ROOT_ID
+            sid = next(self._ids)
+        return _RequestSpan(self, name, sid, parent, attrs)
+
+    def _push(self, span_id: int) -> None:
+        with self._lock:
+            self._stack.append(span_id)
+
+    def _pop(self, span_id: int) -> None:
+        with self._lock:
+            if self._stack and self._stack[-1] == span_id:
+                self._stack.pop()
+
+    def _record(self, sp: _RequestSpan) -> None:
+        ev = {
+            "type": "span",
+            "name": sp.name,
+            "span_id": sp.span_id,
+            "parent_id": sp.parent_id,
+            "t_start": sp.t_start,
+            "duration": sp.duration,
+            "attrs": {
+                **sp.attrs,
+                "trace_id": self.trace_id,
+                "request_id": self.request_id,
+            },
+        }
+        with self._lock:
+            if len(self.events) < self.tracer.max_spans:
+                self.events.append(ev)
+            else:
+                self.n_dropped += 1
+
+    def adopt(self, events: list[dict[str, Any]], worker: Optional[int] = None) -> None:
+        """Fold span events shipped back by a worker process into this trace.
+
+        Span ids are remapped into this trace's id space; worker-side roots
+        (events whose parent is not in the shipped batch) parent at the span
+        currently open in the adopting thread (the shard span), so the tree
+        stays connected end to end.
+        """
+        with self._lock:
+            parent_open = self._stack[-1] if self._stack else self.ROOT_ID
+            remap: dict[Any, int] = {}
+            for ev in events:
+                if ev.get("type") == "span":
+                    remap[ev.get("span_id")] = next(self._ids)
+            for ev in events:
+                if ev.get("type") != "span":
+                    continue
+                attrs = dict(ev.get("attrs", {}))
+                if worker is not None:
+                    attrs.setdefault("worker", worker)
+                attrs["trace_id"] = self.trace_id
+                attrs["request_id"] = self.request_id
+                pid = ev.get("parent_id")
+                adopted = {
+                    "type": "span",
+                    "name": ev.get("name", "?"),
+                    "span_id": remap[ev.get("span_id")],
+                    "parent_id": remap.get(pid, parent_open),
+                    "t_start": ev.get("t_start", 0.0),
+                    "duration": ev.get("duration", 0.0),
+                    "attrs": attrs,
+                }
+                if len(self.events) < self.tracer.max_spans:
+                    self.events.append(adopted)
+                else:
+                    self.n_dropped += 1
+
+    # -------------------------------------------------------------- #
+    # propagation
+    # -------------------------------------------------------------- #
+
+    def context(self) -> dict[str, Any]:
+        """Wire form carried across process boundaries (task envelope)."""
+        return {"trace_id": self.trace_id, "request_id": self.request_id}
+
+
+def rspan(name: str, **attrs: Any) -> Union[_RequestSpan, _NullRequestSpan]:
+    """A child span of the active request trace (no-op when none is active)."""
+    trace = _CURRENT.get()
+    if trace is None:
+        return _NULL_RSPAN
+    return trace.span(name, **attrs)
+
+
+@contextmanager
+def activate(trace: Optional[RequestTrace]) -> Iterator[Optional[RequestTrace]]:
+    """Make ``trace`` the active request context for the ``with`` body."""
+    token = _CURRENT.set(trace)
+    try:
+        yield trace
+    finally:
+        _CURRENT.reset(token)
+
+
+def bind(trace: Optional[RequestTrace], fn: Callable[..., _T]) -> Callable[..., _T]:
+    """Wrap ``fn`` so it runs with ``trace`` active in its own context.
+
+    ``loop.run_in_executor`` does **not** copy the caller's context into the
+    executor thread, so the service binds the request explicitly before
+    shipping query kernels across.
+    """
+
+    def bound(*args: Any, **kwargs: Any) -> _T:
+        token = _CURRENT.set(trace)
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            _CURRENT.reset(token)
+
+    return bound
+
+
+class ExemplarStore:
+    """Most recent exemplar per (metric, latency bucket): trace id + value.
+
+    Keyed on the same ``bisect_left(BUCKET_BOUNDS, value)`` index that
+    :meth:`repro.obs.metrics.Histogram.observe` uses, so an exemplar always
+    names a trace whose latency genuinely fell in the rendered bucket.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, dict[int, tuple[str, float]]] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, metric: str, value: float, trace_id: str) -> None:
+        """Record ``trace_id`` as the latest exemplar for ``metric``'s bucket."""
+        idx = bisect_left(BUCKET_BOUNDS, float(value))
+        with self._lock:
+            self._data.setdefault(metric, {})[idx] = (str(trace_id), float(value))
+
+    def for_metric(self, metric: str) -> dict[int, tuple[str, float]]:
+        """Bucket-index → (trace_id, value) map for one metric (a copy)."""
+        with self._lock:
+            return dict(self._data.get(metric, {}))
+
+    def metrics(self) -> list[str]:
+        """Metric names with at least one exemplar recorded."""
+        with self._lock:
+            return sorted(self._data)
+
+    def clear(self) -> None:
+        """Drop all exemplars (tests)."""
+        with self._lock:
+            self._data.clear()
+
+
+#: Process-wide exemplar store the service and ``/metrics`` share.
+EXEMPLARS = ExemplarStore()
+
+
+class RequestTracer:
+    """Head+tail-sampled request traces with bounded in-memory stores.
+
+    Parameters
+    ----------
+    head_every:
+        Deterministic head sampling: requests ``1, 1+N, 1+2N, ...`` keep
+        their full span tree (0 disables head sampling).
+    slow_threshold_seconds:
+        Tail sampling: any request at or above this total latency is always
+        kept, into the slow-query store, regardless of the head decision.
+    max_slow / max_sampled / max_recent:
+        Bounds of the slow store (full trees), the head-sample store (full
+        trees) and the recent-request summary ring.
+    max_spans:
+        Per-request span cap; excess spans are counted, not stored.
+    registry:
+        Metrics registry for ``obs.reqtrace.*`` counters (default: process
+        registry).
+    exemplars:
+        The :class:`ExemplarStore` latency exemplars go to (default: the
+        process-wide :data:`EXEMPLARS`).
+    """
+
+    def __init__(
+        self,
+        *,
+        head_every: int = 10,
+        slow_threshold_seconds: float = 0.25,
+        max_slow: int = 64,
+        max_sampled: int = 32,
+        max_recent: int = 256,
+        max_spans: int = 512,
+        registry: Optional[MetricsRegistry] = None,
+        exemplars: Optional[ExemplarStore] = None,
+    ) -> None:
+        self.head_every = int(head_every)
+        self.slow_threshold_seconds = float(slow_threshold_seconds)
+        self.max_spans = int(max_spans)
+        self.registry = registry if registry is not None else METRICS
+        self.exemplars = exemplars if exemplars is not None else EXEMPLARS
+        self._seq = itertools.count(1)
+        self._slow: deque[dict[str, Any]] = deque(maxlen=int(max_slow))
+        self._sampled: deque[dict[str, Any]] = deque(maxlen=int(max_sampled))
+        self._recent: deque[dict[str, Any]] = deque(maxlen=int(max_recent))
+        self._lock = threading.Lock()
+        self._id_prefix = f"{os.getpid() & 0xFFFFFFFF:08x}"
+
+    # -------------------------------------------------------------- #
+    # lifecycle of one request
+    # -------------------------------------------------------------- #
+
+    def start(self, name: str, *, kind: str = "query", **attrs: Any) -> RequestTrace:
+        """Open a trace for one request; the sampling head decision is made here."""
+        request_id = next(self._seq)
+        sampled_head = self.head_every > 0 and (request_id - 1) % self.head_every == 0
+        trace_id = f"{self._id_prefix}{request_id:08x}"
+        return RequestTrace(self, trace_id, request_id, name, kind, sampled_head, dict(attrs))
+
+    def finish(
+        self,
+        trace: RequestTrace,
+        *,
+        status: int = 200,
+        error: Optional[str] = None,
+    ) -> dict[str, Any]:
+        """Close a trace: apply the tail-sampling decision and store it.
+
+        Returns the request summary; when the trace was kept (head-sampled
+        or slow) the summary carries the full ``events`` span tree, root
+        included.
+        """
+        duration = time.perf_counter() - trace.t_start
+        trace.duration = duration
+        slow = duration >= self.slow_threshold_seconds
+        kept = trace.sampled_head or slow
+        sampled = "head" if trace.sampled_head else ("tail" if slow else "none")
+        with trace._lock:
+            events = list(trace.events)
+            dropped = trace.n_dropped
+        root_attrs: dict[str, Any] = {
+            **trace.attrs,
+            "kind": trace.kind,
+            "status": int(status),
+            "sampled": sampled,
+            "trace_id": trace.trace_id,
+            "request_id": trace.request_id,
+        }
+        if error is not None:
+            root_attrs["error"] = error
+        root = {
+            "type": "span",
+            "name": trace.name,
+            "span_id": RequestTrace.ROOT_ID,
+            "parent_id": None,
+            "t_start": trace.t_start,
+            "duration": duration,
+            "attrs": root_attrs,
+        }
+        summary: dict[str, Any] = {
+            "trace_id": trace.trace_id,
+            "request_id": trace.request_id,
+            "name": trace.name,
+            "kind": trace.kind,
+            "status": int(status),
+            "duration_seconds": duration,
+            "slow": slow,
+            "sampled": sampled,
+            "epoch": trace.attrs.get("epoch"),
+            "n_spans": len(events) + 1,
+            "n_dropped_spans": dropped,
+            "error": error,
+        }
+        self.registry.inc("obs.reqtrace.requests")
+        if trace.sampled_head:
+            self.registry.inc("obs.reqtrace.sampled")
+        if slow:
+            self.registry.inc("obs.reqtrace.slow")
+        if dropped:
+            self.registry.inc("obs.reqtrace.dropped_spans", dropped)
+        record = {**summary, "events": [root, *events]}
+        with self._lock:
+            self._recent.append(summary)
+            if slow:
+                self._slow.append(record)
+            elif trace.sampled_head:
+                self._sampled.append(record)
+        return record if kept else summary
+
+    # -------------------------------------------------------------- #
+    # stores
+    # -------------------------------------------------------------- #
+
+    def slow(self) -> list[dict[str, Any]]:
+        """Tail-sampled slow requests, oldest first (full span trees)."""
+        with self._lock:
+            return [dict(r) for r in self._slow]
+
+    def sampled(self) -> list[dict[str, Any]]:
+        """Head-sampled requests, oldest first (full span trees)."""
+        with self._lock:
+            return [dict(r) for r in self._sampled]
+
+    def recent(self) -> list[dict[str, Any]]:
+        """Summaries of recent requests, oldest first (no span events)."""
+        with self._lock:
+            return [dict(r) for r in self._recent]
+
+    def config(self) -> dict[str, Any]:
+        """The sampling configuration, for ``/debug/slow`` and reports."""
+        return {
+            "head_every": self.head_every,
+            "slow_threshold_seconds": self.slow_threshold_seconds,
+            "max_slow": self._slow.maxlen,
+            "max_sampled": self._sampled.maxlen,
+            "max_recent": self._recent.maxlen,
+            "max_spans": self.max_spans,
+        }

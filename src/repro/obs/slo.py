@@ -1,0 +1,246 @@
+"""Service-level objectives: rolling windows, burn rates, episode alerts.
+
+An :class:`SloTracker` watches one request class (queries, update batches)
+against two objectives at once:
+
+* **latency** — the fraction of requests finishing under
+  ``latency_threshold_seconds`` must stay at or above ``latency_objective``;
+* **availability** — the fraction of requests not erroring must stay at or
+  above ``availability_objective``.
+
+Requests land in per-second buckets (a bounded deque — memory is
+``O(max(windows))``).  The **burn rate** of a window is the window's bad
+fraction divided by the objective's error budget (``1 - objective``): a burn
+rate of 1.0 spends the budget exactly; sustained rates above
+``burn_threshold`` exhaust it early.  The alert rule is the classic
+multi-window one (as in the 1h/6h SRE pairing, scaled down): an alert fires
+only when **every** configured window burns above the threshold — the short
+window proves the problem is current, the long window proves it is not a
+blip.  Episodes are deduplicated exactly like the PR 6
+:class:`~repro.obs.live.Watchdog` worker alerts: one alert when the
+condition becomes true, re-armed once any window recovers.
+
+Trackers plug into the existing alert stream two ways: every alert is also
+an ``emit_event(..., type="alert")`` on the ambient tracer and an
+``obs.slo.*`` counter tick, and :meth:`repro.obs.live.Watchdog.attach_slo`
+folds tracker alerts into ``Watchdog.alerts`` so one consumer sees worker
+and SLO alerts together.  ``python -m repro obs slo <url>`` renders a live
+service's tracker state from its ``GET /slo`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.trace import emit_event
+
+__all__ = ["SloTracker"]
+
+
+class SloTracker:
+    """Rolling availability + latency objectives with burn-rate alerting.
+
+    Parameters
+    ----------
+    name:
+        The request class this tracker watches (``service.query``, ...).
+    latency_objective / latency_threshold_seconds:
+        Fraction of requests that must finish under the threshold.
+    availability_objective:
+        Fraction of requests that must not error.
+    windows:
+        Rolling window lengths in seconds, short to long; **all** must burn
+        above ``burn_threshold`` for an alert to fire.
+    burn_threshold:
+        Burn-rate multiple of the error budget that counts as breaching.
+    registry:
+        Metrics registry for ``obs.slo.*`` counters (default: process
+        registry).
+    clock:
+        Injectable time source (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        latency_objective: float = 0.99,
+        latency_threshold_seconds: float = 0.25,
+        availability_objective: float = 0.999,
+        windows: tuple[float, ...] = (60.0, 300.0),
+        burn_threshold: float = 2.0,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not windows:
+            raise ValueError("SloTracker needs at least one window")
+        self.name = name
+        self.latency_objective = float(latency_objective)
+        self.latency_threshold_seconds = float(latency_threshold_seconds)
+        self.availability_objective = float(availability_objective)
+        self.windows = tuple(float(w) for w in sorted(windows))
+        self.burn_threshold = float(burn_threshold)
+        self.registry = registry if registry is not None else METRICS
+        self.clock = clock
+        #: Per-second buckets: ``[second, total, errors, slow]``.
+        self._buckets: deque[list[float]] = deque()
+        self._lock = threading.Lock()
+        self._episodes: set[tuple[str, str]] = set()
+        self.alerts: list[dict[str, Any]] = []
+        self.n_events = 0
+        self.n_errors = 0
+        self.n_slow = 0
+
+    # -------------------------------------------------------------- #
+    # recording
+    # -------------------------------------------------------------- #
+
+    def record(
+        self, latency_seconds: float, *, error: bool = False, now: Optional[float] = None
+    ) -> None:
+        """Record one finished request (its latency and whether it errored)."""
+        t = self.clock() if now is None else float(now)
+        sec = float(int(t))
+        slow = float(latency_seconds) > self.latency_threshold_seconds
+        with self._lock:
+            if self._buckets and self._buckets[-1][0] >= sec:
+                bucket = self._buckets[-1]
+            else:
+                bucket = [sec, 0.0, 0.0, 0.0]
+                self._buckets.append(bucket)
+            bucket[1] += 1
+            if error:
+                bucket[2] += 1
+            if slow:
+                bucket[3] += 1
+            self.n_events += 1
+            self.n_errors += int(error)
+            self.n_slow += int(slow)
+            horizon = sec - max(self.windows) - 1.0
+            while self._buckets and self._buckets[0][0] < horizon:
+                self._buckets.popleft()
+
+    # -------------------------------------------------------------- #
+    # burn-rate math
+    # -------------------------------------------------------------- #
+
+    def _window_counts(self, window: float, now: float) -> tuple[float, float, float]:
+        """(total, errors, slow) over buckets intersecting ``(now-window, now]``."""
+        lo = now - window
+        total = errors = slow = 0.0
+        for sec, n, err, sl in self._buckets:
+            if sec + 1.0 > lo and sec <= now:
+                total += n
+                errors += err
+                slow += sl
+        return total, errors, slow
+
+    def burn_rates(self, now: Optional[float] = None) -> dict[str, dict[str, float]]:
+        """Burn rate per objective per window (``{"latency": {"60s": ...}}``)."""
+        t = self.clock() if now is None else float(now)
+        out: dict[str, dict[str, float]] = {"latency": {}, "availability": {}}
+        with self._lock:
+            for w in self.windows:
+                total, errors, slow = self._window_counts(w, t)
+                for kind, bad, objective in (
+                    ("latency", slow, self.latency_objective),
+                    ("availability", errors, self.availability_objective),
+                ):
+                    budget = max(1e-9, 1.0 - objective)
+                    frac = (bad / total) if total else 0.0
+                    out[kind][f"{w:g}s"] = frac / budget
+        return out
+
+    # -------------------------------------------------------------- #
+    # alerting
+    # -------------------------------------------------------------- #
+
+    def check(self, now: Optional[float] = None) -> list[dict[str, Any]]:
+        """Evaluate the multi-window rule; returns alerts newly raised.
+
+        One alert per episode: a breach that is already alerted stays
+        silent until **any** window recovers below the threshold, which
+        re-arms the episode.
+        """
+        t = self.clock() if now is None else float(now)
+        rates = self.burn_rates(now=t)
+        new: list[dict[str, Any]] = []
+        for kind, objective in (
+            ("latency", self.latency_objective),
+            ("availability", self.availability_objective),
+        ):
+            per_window = rates[kind]
+            breaching = bool(per_window) and all(
+                r > self.burn_threshold for r in per_window.values()
+            )
+            key = (self.name, kind)
+            with self._lock:
+                if breaching and key not in self._episodes:
+                    self._episodes.add(key)
+                    fire = True
+                else:
+                    if not breaching:
+                        self._episodes.discard(key)
+                    fire = False
+            if fire:
+                alert: dict[str, Any] = {
+                    "kind": f"slo_burn_{kind}",
+                    "slo": self.name,
+                    "objective": objective,
+                    "burn_threshold": self.burn_threshold,
+                    "windows_seconds": list(self.windows),
+                    "burn_rates": dict(per_window),
+                }
+                self.alerts.append(alert)
+                self.registry.inc("obs.slo.alerts")
+                self.registry.inc(f"obs.slo.burn.{kind}")
+                emit_event(f"slo.{kind}", type="alert", **alert)
+                new.append(alert)
+        return new
+
+    def breaching(self, now: Optional[float] = None) -> dict[str, bool]:
+        """Whether each objective currently burns above threshold in all windows."""
+        rates = self.burn_rates(now=now)
+        return {
+            kind: bool(per) and all(r > self.burn_threshold for r in per.values())
+            for kind, per in rates.items()
+        }
+
+    # -------------------------------------------------------------- #
+    # state
+    # -------------------------------------------------------------- #
+
+    def state(self, now: Optional[float] = None) -> dict[str, Any]:
+        """JSON-ready snapshot for ``GET /slo`` and ``repro obs slo``."""
+        t = self.clock() if now is None else float(now)
+        rates = self.burn_rates(now=t)
+        breaching = self.breaching(now=t)
+        return {
+            "name": self.name,
+            "windows_seconds": list(self.windows),
+            "burn_threshold": self.burn_threshold,
+            "objectives": {
+                "latency": {
+                    "objective": self.latency_objective,
+                    "threshold_seconds": self.latency_threshold_seconds,
+                    "burn_rates": rates["latency"],
+                    "breaching": breaching["latency"],
+                },
+                "availability": {
+                    "objective": self.availability_objective,
+                    "burn_rates": rates["availability"],
+                    "breaching": breaching["availability"],
+                },
+            },
+            "totals": {
+                "events": self.n_events,
+                "errors": self.n_errors,
+                "slow": self.n_slow,
+            },
+            "n_alerts": len(self.alerts),
+            "alerts": [dict(a) for a in self.alerts[-8:]],
+        }

@@ -22,7 +22,13 @@ Design points:
   result; :meth:`WorkerPool.run_tasks` re-emits them under the parent's
   tracer (fresh span ids, parented at the current open span, tagged with
   the worker id) so one JSONL trace shows the whole fan-out under the
-  parent's run manifest.
+  parent's run manifest.  When a request trace
+  (:mod:`repro.obs.reqtrace`) is active in the dispatching context, its
+  ``trace_id``/``request_id`` additionally ride the task envelope, workers
+  record spans even without an ambient tracer, and the shipped events are
+  folded into the requesting trace (:meth:`RequestTrace.adopt`) — after
+  the stale-round filter, so an abandoned round's spans never orphan into
+  a newer request.
 * **Heartbeats** — with ``heartbeat_interval`` set, each worker runs a
   tiny daemon thread posting liveness beats (current task, busy time,
   RSS, tasks completed) onto the result queue.  The parent records the
@@ -61,6 +67,7 @@ from typing import Any, Callable, Sequence
 from repro.errors import ParallelError, WorkerCrashError
 from repro.obs import METRICS, current_tracer, disable_tracing, enable_tracing, span
 from repro.obs.metrics import snapshot_delta
+from repro.obs.reqtrace import current_trace as current_request_trace
 from repro.obs.prof import (
     disable_memory_profiling,
     enable_memory_profiling,
@@ -191,7 +198,7 @@ def _worker_main(
         msg = task_q.get()
         if msg is None:
             break
-        task_id, name, descriptors, payload, traced, memprof = msg
+        task_id, name, descriptors, payload, traced, memprof, trace_ctx = msg
         state["busy_since"] = time.monotonic()
         state["task"] = name
         state["task_id"] = task_id
@@ -202,16 +209,22 @@ def _worker_main(
             if fn is None:
                 raise ParallelError(f"worker has no task {name!r}; registered: {sorted(_TASKS)}")
             sink = None
-            if traced:
+            # A request-trace context piggybacks span recording even when the
+            # parent has no ambient tracer: the shipped events become the
+            # request's per-shard worker spans (RequestTrace.adopt).
+            if traced or trace_ctx is not None:
                 sink = MemorySink()
                 enable_tracing(sink)
             if memprof:
                 enable_memory_profiling()
+            span_attrs: dict[str, Any] = {"worker": worker_id, "task": task_id}
+            if trace_ctx is not None:
+                span_attrs["trace_id"] = trace_ctx.get("trace_id")
             before = METRICS.snapshot()
             t0 = time.perf_counter()
             try:
                 with measure_block() as mem:
-                    with span(f"parallel.{name}", worker=worker_id, task=task_id):
+                    with span(f"parallel.{name}", **span_attrs):
                         out = fn(_worker_views(arenas, descriptors), payload)
             finally:
                 telemetry = snapshot_delta(before, METRICS.snapshot())
@@ -411,6 +424,8 @@ class WorkerPool:
             return []
         self.start()
         traced = current_tracer() is not None
+        rtrace = current_request_trace()
+        trace_ctx = rtrace.context() if rtrace is not None else None
         memprof = memory_profiling_enabled()
         base = self._task_counter
         self._task_counter += len(tasks)
@@ -420,7 +435,7 @@ class WorkerPool:
                 raise ParallelError(f"unknown task {spec.name!r}")
             dispatched_at[base + i] = self._now()
             self._task_qs[i % self.workers].put(
-                (base + i, spec.name, spec.arenas, spec.payload, traced, memprof)
+                (base + i, spec.name, spec.arenas, spec.payload, traced, memprof, trace_ctx)
             )
         METRICS.inc("parallel.pool.tasks_dispatched", len(tasks))
         results: dict[int, Any] = {}
@@ -438,6 +453,10 @@ class WorkerPool:
                 continue  # stale result from an abandoned round
             if events:
                 self._adopt_events(events, worker_id)
+                if rtrace is not None:
+                    # After the staleness filter on purpose: an abandoned
+                    # round's spans never orphan into a newer request trace.
+                    rtrace.adopt(events, worker=worker_id)
             if telemetry:
                 self._merge_telemetry(worker_id, telemetry, dispatched_at.get(task_id))
             if status == "ok":

@@ -35,6 +35,8 @@ from repro.core.update_engine import apply_stream
 from repro.errors import ServiceError
 from repro.generators.streams import UpdateStream
 from repro.obs import METRICS, span
+from repro.obs.reqtrace import RequestTracer, activate, rspan
+from repro.obs.slo import SloTracker
 from repro.service.epoch import Epoch, EpochStore
 
 __all__ = ["UpdateDrainer"]
@@ -62,6 +64,13 @@ class UpdateDrainer:
     undirected:
         Whether edge updates symmetrise into two arcs; defaults to the
         graph's own directedness.
+    reqtrace:
+        Optional :class:`~repro.obs.reqtrace.RequestTracer`: each batch
+        application becomes a ``kind="update"`` request trace, so slow
+        batches land in the same slow-query store as slow queries.
+    slo:
+        Optional :class:`~repro.obs.slo.SloTracker` fed one latency sample
+        per batch (the write-path objective).
     """
 
     def __init__(
@@ -72,11 +81,18 @@ class UpdateDrainer:
         max_queue: int = 8,
         rotate_min_interval: float = 0.0,
         undirected: Optional[bool] = None,
+        reqtrace: Optional[RequestTracer] = None,
+        slo: Optional[SloTracker] = None,
     ) -> None:
         self.graph = graph
         self.store = store
         self.rotate_min_interval = float(rotate_min_interval)
         self.undirected = (not graph.directed) if undirected is None else bool(undirected)
+        self.reqtrace = reqtrace
+        self.slo = slo
+        #: Test/fault-injection hook: seconds to sleep inside each batch
+        #: application (counted into the batch latency the SLO sees).
+        self.throttle = 0.0
         self._q: "queue.Queue[object]" = queue.Queue(maxsize=int(max_queue))
         self._thread: Optional[threading.Thread] = None
         self._closed = False
@@ -147,7 +163,9 @@ class UpdateDrainer:
             raise ServiceError(
                 f"update queue stayed full for {timeout}s (depth {self._q.maxsize})"
             ) from None
-        METRICS.set("service.queue.depth", float(self._q.qsize()))
+        depth = float(self._q.qsize())
+        METRICS.set("service.queue.depth", depth)
+        METRICS.set("service.update_queue.depth", depth)
 
     @property
     def queue_depth(self) -> int:
@@ -179,28 +197,56 @@ class UpdateDrainer:
         return epoch
 
     def _apply(self, stream: UpdateStream) -> None:
-        with span("service.apply_batch", updates=len(stream)) as sp:
-            t0 = time.perf_counter()
-            res = apply_stream(
-                self.graph.rep, stream, undirected=self.undirected, reset_stats=True
-            )
-            elapsed = time.perf_counter() - t0
-            self.n_batches += 1
-            self.n_updates += res.n_updates
-            self.n_misses += res.misses
-            METRICS.inc("service.updates.batches")
-            METRICS.inc("service.updates.applied", res.n_updates)
-            METRICS.observe("service.updates.batch_seconds", elapsed)
-            if elapsed > 0:
-                METRICS.observe("service.updates.mups", res.n_updates / elapsed / 1e6)
-            sp.set(misses=res.misses, seconds=elapsed)
-        self.rotate()
+        tracer = self.reqtrace
+        trace = (
+            tracer.start("service.apply_batch", kind="update", updates=len(stream))
+            if tracer is not None
+            else None
+        )
+        t_batch = time.perf_counter()
+        error: Optional[str] = None
+        try:
+            with activate(trace):
+                if self.throttle > 0:
+                    time.sleep(self.throttle)
+                with span("service.apply_batch", updates=len(stream)) as sp, rspan(
+                    "service.drain.apply", updates=len(stream)
+                ):
+                    t0 = time.perf_counter()
+                    res = apply_stream(
+                        self.graph.rep, stream, undirected=self.undirected, reset_stats=True
+                    )
+                    elapsed = time.perf_counter() - t0
+                    self.n_batches += 1
+                    self.n_updates += res.n_updates
+                    self.n_misses += res.misses
+                    METRICS.inc("service.updates.batches")
+                    METRICS.inc("service.updates.applied", res.n_updates)
+                    METRICS.observe("service.updates.batch_seconds", elapsed)
+                    if elapsed > 0:
+                        METRICS.observe("service.updates.mups", res.n_updates / elapsed / 1e6)
+                    sp.set(misses=res.misses, seconds=elapsed)
+                with rspan("service.drain.rotate"):
+                    epoch = self.rotate()
+                if trace is not None:
+                    trace.attrs["epoch"] = epoch.id
+        except BaseException as exc:
+            error = type(exc).__name__
+            raise
+        finally:
+            batch_seconds = time.perf_counter() - t_batch
+            if tracer is not None and trace is not None:
+                tracer.finish(trace, status=500 if error else 200, error=error)
+            if self.slo is not None:
+                self.slo.record(batch_seconds, error=error is not None)
 
     def _run(self) -> None:
         try:
             while True:
                 item = self._q.get()
-                METRICS.set("service.queue.depth", float(self._q.qsize()))
+                depth = float(self._q.qsize())
+                METRICS.set("service.queue.depth", depth)
+                METRICS.set("service.update_queue.depth", depth)
                 if item is _CLOSE:
                     break
                 assert isinstance(item, UpdateStream)

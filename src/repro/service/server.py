@@ -19,6 +19,18 @@ Endpoints (GET, JSON unless noted):
 * ``/bfs?source=[&ts_lo=&ts_hi=][&full=1]`` — traversal summary
   (``full`` adds the distance array)
 * ``/metrics`` — OpenMetrics text exposition of the process registry
+  (with latency exemplars naming recent trace ids)
+* ``/debug/slow`` — the bounded slow-query store: full span trees of
+  requests that breached the latency threshold (``?sampled=1`` adds the
+  deterministic head samples)
+* ``/slo`` — burn-rate state of the query/update SLO trackers
+
+Every routed query runs under a :class:`~repro.obs.reqtrace.RequestTrace`
+(deterministic head sampling + always-keep tail sampling); the context is
+bound across the executor hop explicitly, the epoch-pinned kernels open
+``service.epoch.read`` spans, and sharded ``/components`` queries adopt
+the per-shard worker spans shipped back through the pool envelope — one
+connected tree per request, exportable via the Chrome-trace exporter.
 
 Errors map onto status codes: bad input (unknown vertex, malformed
 parameter) is a 400 carrying the :class:`~repro.errors.GraphError` message;
@@ -34,7 +46,8 @@ import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Optional
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, Union
 from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
@@ -44,6 +57,8 @@ from repro.core.bfs import bfs
 from repro.core.components import connected_components
 from repro.errors import GraphError, ServiceError, WorkerCrashError
 from repro.obs import METRICS, to_openmetrics
+from repro.obs.reqtrace import RequestTrace, RequestTracer, bind, rspan
+from repro.obs.slo import SloTracker
 from repro.service.drainer import UpdateDrainer
 from repro.service.epoch import Epoch, EpochStore
 from repro.service.shards import ShardRouter
@@ -70,6 +85,14 @@ class GraphService:
         Executor width for query kernels (default 4).
     max_queue / rotate_min_interval:
         Forwarded to the :class:`~repro.service.drainer.UpdateDrainer`.
+    reqtrace:
+        Request tracing: None/True builds a default
+        :class:`~repro.obs.reqtrace.RequestTracer` (head sampling every
+        10th request, 250 ms tail threshold), False disables tracing
+        entirely, or pass a configured tracer.
+    slo_query / slo_update:
+        :class:`~repro.obs.slo.SloTracker` instances for the read and
+        write paths (defaults are built when not given).
     """
 
     def __init__(
@@ -81,12 +104,30 @@ class GraphService:
         query_threads: int = 4,
         max_queue: int = 8,
         rotate_min_interval: float = 0.0,
+        reqtrace: Union[RequestTracer, bool, None] = None,
+        slo_query: Optional[SloTracker] = None,
+        slo_update: Optional[SloTracker] = None,
     ) -> None:
         self.graph = graph
         self.store = EpochStore()
+        if reqtrace is False:
+            self.reqtrace: Optional[RequestTracer] = None
+        elif reqtrace is None or reqtrace is True:
+            self.reqtrace = RequestTracer()
+        else:
+            self.reqtrace = reqtrace
+        self.slo_query = (
+            slo_query if slo_query is not None else SloTracker("service.query")
+        )
+        self.slo_update = (
+            slo_update
+            if slo_update is not None
+            else SloTracker("service.update", latency_threshold_seconds=1.0)
+        )
         self.drainer = UpdateDrainer(
             graph, self.store, max_queue=max_queue,
             rotate_min_interval=rotate_min_interval,
+            reqtrace=self.reqtrace, slo=self.slo_update,
         )
         self.router = router
         self.kernel_tier = kernel_tier
@@ -94,6 +135,7 @@ class GraphService:
             max_workers=int(query_threads), thread_name_prefix="repro-query"
         )
         self.n_queries = 0
+        self._inflight = 0
 
     # ------------------------------------------------------------------ #
     # writer path
@@ -128,8 +170,17 @@ class GraphService:
         assert isinstance(labels, np.ndarray)
         return labels
 
-    def _q_connected(self, u: int, v: int) -> dict:
+    @contextmanager
+    def _pinned(self) -> Iterator[Epoch]:
+        """Pin an epoch for one kernel, under a ``service.epoch.read`` span."""
         with self.store.reading() as epoch:
+            with rspan(
+                "service.epoch.read", epoch=epoch.id, mutations=epoch.mutation_count
+            ):
+                yield epoch
+
+    def _q_connected(self, u: int, v: int) -> dict:
+        with self._pinned() as epoch:
             snap = epoch.snapshot
             for name, x in (("u", u), ("v", v)):
                 if not 0 <= x < snap.n:
@@ -142,7 +193,7 @@ class GraphService:
             }
 
     def _q_components(self, full: bool) -> dict:
-        with self.store.reading() as epoch:
+        with self._pinned() as epoch:
             labels = self._labels(epoch)
             roots, counts = (
                 np.unique(labels, return_counts=True)
@@ -160,7 +211,7 @@ class GraphService:
             return out
 
     def _q_component(self, v: int) -> dict:
-        with self.store.reading() as epoch:
+        with self._pinned() as epoch:
             snap = epoch.snapshot
             if not 0 <= v < snap.n:
                 raise GraphError(f"vertex v={v} out of range [0, {snap.n})")
@@ -173,7 +224,7 @@ class GraphService:
             }
 
     def _q_bfs(self, source: int, ts_range: Optional[tuple], full: bool) -> dict:
-        with self.store.reading() as epoch:
+        with self._pinned() as epoch:
             res = bfs(epoch.snapshot, source, ts_range=ts_range)
             out = {
                 "source": source,
@@ -196,11 +247,38 @@ class GraphService:
             "epochs_live": self.store.n_live,
             "epoch_lag": self.store.lag_of(self.graph.rep.mutation_count),
             "queue_depth": self.drainer.queue_depth,
+            "update_queue_depth": self.drainer.queue_depth,
             "batches_applied": self.drainer.n_batches,
             "updates_applied": self.drainer.n_updates,
             "queries": self.n_queries,
+            "queries_inflight": self._inflight,
             "sharded": self.router is not None,
+            "reqtrace": self.reqtrace is not None,
+            "slow_captured": len(self.reqtrace.slow()) if self.reqtrace is not None else 0,
         }
+
+    def _q_debug_slow(self, params: dict) -> dict:
+        """The slow-query store (``GET /debug/slow``): full span trees."""
+        tracer = self.reqtrace
+        if tracer is None:
+            return {"enabled": False, "config": {}, "slow": [], "recent": []}
+        out: dict[str, Any] = {
+            "enabled": True,
+            "config": tracer.config(),
+            "slow": tracer.slow(),
+            "recent": tracer.recent(),
+        }
+        if params.get("sampled", ["0"])[0] not in ("0", "", "false"):
+            out["sampled"] = tracer.sampled()
+        return out
+
+    def _q_slo(self) -> dict:
+        """Burn-rate state of both trackers (``GET /slo``), checking first."""
+        slos: dict[str, Any] = {}
+        for tracker in (self.slo_query, self.slo_update):
+            tracker.check()
+            slos[tracker.name] = tracker.state()
+        return {"slos": slos}
 
     # ------------------------------------------------------------------ #
     # HTTP plumbing
@@ -230,6 +308,10 @@ class GraphService:
             return 200, "application/openmetrics-text", to_openmetrics(METRICS)
         if path == "/stats":
             return 200, "application/json", json.dumps(self._q_stats())
+        if path == "/debug/slow":
+            return 200, "application/json", json.dumps(self._q_debug_slow(params))
+        if path == "/slo":
+            return 200, "application/json", json.dumps(self._q_slo())
         if path == "/connected":
             u, v = qint("u"), qint("v")
             fn = lambda: self._q_connected(u, v)  # noqa: E731
@@ -247,14 +329,61 @@ class GraphService:
         if fn is None:
             return 404, "application/json", json.dumps({"error": f"no route {path}"})
         loop = asyncio.get_running_loop()
+        tracer = self.reqtrace
+        route = path.replace("/", ".")
+        trace = (
+            tracer.start(f"service{route}", kind="query", route=path)
+            if tracer is not None
+            else None
+        )
+        self._inflight += 1
+        METRICS.set("service.queries.inflight", float(self._inflight))
         t0 = time.perf_counter()
-        body = await loop.run_in_executor(self._executor, fn)
+        try:
+            # contextvars don't cross run_in_executor: bind the trace into
+            # the executor thread explicitly so kernel rspans attach to it.
+            run = fn if trace is None else bind(trace, self._exec_traced(trace, route, fn))
+            body = await loop.run_in_executor(self._executor, run)
+        except BaseException as exc:
+            elapsed = time.perf_counter() - t0
+            status = (
+                400 if isinstance(exc, GraphError)
+                else 503 if isinstance(exc, ServiceError)
+                else 500
+            )
+            if tracer is not None and trace is not None:
+                tracer.finish(trace, status=status, error=type(exc).__name__)
+            self.slo_query.record(elapsed, error=status >= 500)
+            raise
+        finally:
+            self._inflight -= 1
+            METRICS.set("service.queries.inflight", float(self._inflight))
         elapsed = time.perf_counter() - t0
         self.n_queries += 1
         METRICS.inc("service.queries")
-        METRICS.inc(f"service.query{path.replace('/', '.')}")
+        METRICS.inc(f"service.query{route}")
         METRICS.observe("service.query.seconds", elapsed)
+        if tracer is not None and trace is not None:
+            epoch_id = body.get("epoch") if isinstance(body, dict) else None
+            if epoch_id is not None:
+                trace.attrs["epoch"] = epoch_id
+            tracer.finish(trace, status=200)
+            tracer.exemplars.observe("service.query.seconds", elapsed, trace.trace_id)
+        self.slo_query.record(elapsed)
         return 200, "application/json", json.dumps(body)
+
+    def _exec_traced(
+        self, trace: RequestTrace, route: str, fn: Callable[[], dict]
+    ) -> Callable[[], dict]:
+        """Wrap a query kernel in the executor-level span of ``trace``."""
+
+        def run() -> dict:
+            with trace.span(
+                f"service.exec{route}", thread=threading.current_thread().name
+            ):
+                return fn()
+
+        return run
 
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         """One connection, one request (``Connection: close`` semantics)."""

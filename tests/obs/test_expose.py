@@ -14,6 +14,7 @@ from repro.obs.expose import (
 )
 from repro.obs.live import TelemetryCollector
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.reqtrace import ExemplarStore
 
 
 def populated_registry():
@@ -98,7 +99,110 @@ class TestValidateOpenMetrics:
             "s_sum 2.5\n"
             "# EOF\n"
         )
-        assert stats == {"n_families": 1, "n_samples": 3, "types": {"s": "summary"}}
+        assert stats == {
+            "n_families": 1,
+            "n_samples": 3,
+            "n_exemplars": 0,
+            "types": {"s": "summary"},
+        }
+
+
+class TestExemplars:
+    def payload(self):
+        reg = MetricsRegistry()
+        reg.observe("service.query.seconds", 0.004)
+        reg.observe("service.query.seconds", 0.03)
+        ex = ExemplarStore()
+        ex.observe("service.query.seconds", 0.004, "0000abcd00000001")
+        ex.observe("service.query.seconds", 0.03, "0000abcd00000002")
+        return to_openmetrics(reg, exemplars=ex)
+
+    def test_exemplar_histogram_renders_and_validates(self):
+        text = self.payload()
+        assert "# TYPE service_query_seconds histogram" in text
+        assert '# {trace_id="0000abcd00000001"} 0.004' in text
+        assert '# {trace_id="0000abcd00000002"} 0.03' in text
+        assert 'le="+Inf"' in text
+        stats = validate_openmetrics(text)
+        assert stats["n_exemplars"] == 2
+        assert stats["types"]["service_query_seconds"] == "histogram"
+
+    def test_buckets_are_cumulative_and_counted(self):
+        lines = self.payload().splitlines()
+        buckets = [ln for ln in lines if "_bucket" in ln]
+        counts = [int(ln.split("#")[0].split()[-1]) for ln in buckets]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert counts[-1] == 2  # +Inf bucket covers every observation
+        assert any(ln.startswith("service_query_seconds_count 2") for ln in lines)
+
+    def test_metrics_without_exemplars_still_render_as_summaries(self):
+        reg = MetricsRegistry()
+        reg.observe("lat.seconds", 0.1)
+        text = to_openmetrics(reg, exemplars=ExemplarStore())
+        assert "# TYPE lat_seconds summary" in text
+
+    def test_exemplar_on_gauge_rejected(self):
+        with pytest.raises(ValueError, match="exemplar"):
+            validate_openmetrics(
+                "# TYPE g gauge\n"
+                'g 1 # {trace_id="abc"} 1.0\n'
+                "# EOF\n"
+            )
+
+    def test_exemplar_on_counter_total_accepted(self):
+        stats = validate_openmetrics(
+            "# TYPE c counter\n"
+            'c_total 3 # {trace_id="abc"} 1.0\n'
+            "# EOF\n"
+        )
+        assert stats["n_exemplars"] == 1
+
+    def test_non_finite_exemplar_value_rejected(self):
+        with pytest.raises(ValueError, match="exemplar"):
+            validate_openmetrics(
+                "# TYPE c counter\n"
+                'c_total 3 # {trace_id="abc"} nan\n'
+                "# EOF\n"
+            )
+
+
+class TestValidatorStructure:
+    def test_interleaved_families_rejected(self):
+        with pytest.raises(ValueError, match="interleaves"):
+            validate_openmetrics(
+                "# TYPE a counter\n"
+                "# TYPE b counter\n"
+                "a_total 1\n"
+                "b_total 1\n"
+                "# EOF\n"
+            )
+
+    def test_histogram_bucket_requires_le_label(self):
+        with pytest.raises(ValueError, match="'le' label"):
+            validate_openmetrics(
+                "# TYPE h histogram\n"
+                "h_bucket 1\n"
+                "# EOF\n"
+            )
+
+    def test_histogram_rejects_foreign_suffix(self):
+        with pytest.raises(ValueError, match="histogram"):
+            validate_openmetrics(
+                "# TYPE h histogram\n"
+                "h 1\n"
+                "# EOF\n"
+            )
+
+    def test_eof_and_duplicate_type_stay_locked(self):
+        # regression locks for the satellite: both were already enforced,
+        # keep them that way.
+        with pytest.raises(ValueError, match="# EOF"):
+            validate_openmetrics("# TYPE a counter\na_total 1\n")
+        with pytest.raises(ValueError, match="declared twice"):
+            validate_openmetrics(
+                "# TYPE a counter\na_total 1\n"
+                "# TYPE a counter\na_total 2\n# EOF\n"
+            )
 
 
 class TestFormatRollups:

@@ -1,0 +1,160 @@
+"""Tests for repro.obs.slo: burn-rate math, episode alerts, watchdog feed."""
+
+import pytest
+
+from repro.obs.live import Watchdog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloTracker
+
+
+def slo(**kw):
+    kw.setdefault("registry", MetricsRegistry())
+    kw.setdefault("windows", (5.0, 20.0))
+    kw.setdefault("clock", lambda: 0.0)
+    return SloTracker("svc", **kw)
+
+
+class TestBurnRates:
+    def test_all_good_is_zero_burn(self):
+        s = slo()
+        for t in range(5):
+            s.record(0.01, now=float(t))
+        rates = s.burn_rates(now=5.0)
+        assert rates["latency"] == {"5s": 0.0, "20s": 0.0}
+        assert rates["availability"] == {"5s": 0.0, "20s": 0.0}
+
+    def test_all_slow_burns_the_full_budget_ratio(self):
+        s = slo(latency_objective=0.99)
+        for t in range(5):
+            s.record(9.0, now=float(t))
+        # bad fraction 1.0 over budget 0.01 -> burn rate 100
+        assert s.burn_rates(now=5.0)["latency"]["5s"] == pytest.approx(100.0)
+
+    def test_errors_burn_availability_not_latency(self):
+        s = slo()
+        for t in range(5):
+            s.record(0.01, error=True, now=float(t))
+        rates = s.burn_rates(now=5.0)
+        assert rates["availability"]["5s"] > 0
+        assert rates["latency"]["5s"] == 0.0
+
+    def test_old_events_age_out_of_the_window(self):
+        s = slo()
+        s.record(9.0, now=0.0)
+        assert s.burn_rates(now=1.0)["latency"]["5s"] > 0
+        assert s.burn_rates(now=30.0)["latency"]["5s"] == 0.0
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            SloTracker("svc", windows=())
+
+
+class TestEpisodeAlerts:
+    def test_alert_fires_once_per_episode(self):
+        s = slo()
+        for t in range(20):
+            s.record(9.0, now=float(t))
+        first = s.check(now=20.0)
+        assert [a["kind"] for a in first] == ["slo_burn_latency"]
+        assert first[0]["slo"] == "svc"
+        assert sorted(first[0]["burn_rates"]) == ["20s", "5s"]
+        # still breaching: same episode, no re-fire
+        assert s.check(now=20.5) == []
+        assert len(s.alerts) == 1
+
+    def test_short_window_alone_does_not_alert(self):
+        s = slo()
+        # 5 good requests per second, then ONE slow outlier at the end:
+        # the 5s window burns (1/21 bad >> 1% budget x2) but the 20s
+        # window stays under threshold (1/96 bad ~ 1.04x budget < 2) —
+        # the multi-window rule keeps the blip silent.
+        for t in range(23):
+            for i in range(5):
+                s.record(0.01, now=t + i * 0.1)
+        s.record(9.0, now=22.5)
+        assert s.breaching(now=23.0)["latency"] is False
+        assert s.burn_rates(now=23.0)["latency"]["5s"] > s.burn_threshold
+        assert s.check(now=23.0) == []
+
+    def test_recovery_rearms_and_second_episode_fires(self):
+        s = slo()
+        for t in range(20):
+            s.record(9.0, now=float(t))
+        assert len(s.check(now=20.0)) == 1
+        # recover: healthy traffic pushes every window below threshold
+        for t in range(60, 90):
+            s.record(0.01, now=float(t))
+        assert s.check(now=90.0) == []  # re-armed, not re-fired
+        for t in range(100, 130):
+            s.record(9.0, now=float(t))
+        second = s.check(now=130.0)
+        assert [a["kind"] for a in second] == ["slo_burn_latency"]
+        assert len(s.alerts) == 2
+
+    def test_latency_and_availability_are_independent_episodes(self):
+        s = slo()
+        for t in range(25):
+            s.record(9.0, error=True, now=float(t))
+        kinds = sorted(a["kind"] for a in s.check(now=25.0))
+        assert kinds == ["slo_burn_availability", "slo_burn_latency"]
+
+    def test_alerts_tick_registry_counters(self):
+        reg = MetricsRegistry()
+        s = slo(registry=reg)
+        for t in range(20):
+            s.record(9.0, now=float(t))
+        s.check(now=20.0)
+        counters = reg.snapshot()["counters"]
+        assert counters["obs.slo.alerts"] == 1
+        assert counters["obs.slo.burn.latency"] == 1
+
+
+class TestWatchdogIntegration:
+    def test_poolless_watchdog_forwards_slo_alerts(self):
+        s = slo()
+        dog = Watchdog(None, registry=MetricsRegistry())
+        dog.attach_slo(s)
+        for t in range(20):
+            s.record(9.0, now=float(t))
+        new = dog.check()
+        assert [a["kind"] for a in new] == ["slo_burn_latency"]
+        assert dog.alerts == new
+        assert dog.check() == []  # same episode stays deduplicated
+
+    def test_out_of_band_tracker_alerts_are_still_collected(self):
+        s = slo()
+        dog = Watchdog(None, registry=MetricsRegistry())
+        dog.attach_slo(s)
+        for t in range(20):
+            s.record(9.0, now=float(t))
+        s.check(now=20.0)  # fired outside the watchdog
+        assert [a["kind"] for a in dog.check()] == ["slo_burn_latency"]
+        assert len(dog.alerts) == 1
+
+    def test_attach_skips_alerts_from_before_attachment(self):
+        s = slo()
+        for t in range(20):
+            s.record(9.0, now=float(t))
+        s.check(now=20.0)
+        dog = Watchdog(None, registry=MetricsRegistry())
+        dog.attach_slo(s)
+        assert dog.check() == []  # pre-attachment history not replayed
+
+
+class TestState:
+    def test_state_is_json_ready_and_complete(self):
+        import json
+
+        s = slo()
+        for t in range(20):
+            s.record(9.0, now=float(t))
+        s.check(now=20.0)
+        state = s.state(now=20.0)
+        json.dumps(state)  # round-trippable
+        assert state["name"] == "svc"
+        assert state["windows_seconds"] == [5.0, 20.0]
+        assert state["objectives"]["latency"]["breaching"] is True
+        assert state["objectives"]["availability"]["breaching"] is False
+        assert state["totals"] == {"events": 20, "errors": 0, "slow": 20}
+        assert state["n_alerts"] == 1
+        assert state["alerts"][0]["kind"] == "slo_burn_latency"

@@ -1,0 +1,285 @@
+"""Request tracing and SLOs through the live service, end to end."""
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.__main__ import main
+from repro.api import DynamicGraph
+from repro.errors import WorkerCrashError
+from repro.generators.parallel import iter_update_chunks
+from repro.obs.export import to_chrome_trace, validate_chrome_trace
+from repro.obs.live import TelemetryCollector, Watchdog
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.reqtrace import ExemplarStore, RequestTracer, activate
+from repro.obs.slo import SloTracker
+from repro.parallel.pool import TaskSpec, WorkerPool
+from repro.service import GraphService, ShardRouter
+
+SCALE = 9
+N = 1 << SCALE
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=30) as r:
+        assert r.status == 200
+        return json.loads(r.read())
+
+
+@pytest.fixture(scope="module")
+def traced(pool):
+    """Live service, process-sharded components, keep-every-trace sampling."""
+    batches = list(iter_update_chunks(SCALE, 2 * N, seed=23, chunk_edges=512))
+    service = GraphService(
+        DynamicGraph(N),
+        router=ShardRouter(pool),
+        reqtrace=RequestTracer(head_every=1, slow_threshold_seconds=60.0),
+    )
+    handle = service.start_background()
+    for c in batches:
+        handle.submit(c)
+    service.drainer.close()
+    yield handle, service, batches
+    handle.close()
+
+
+def request_tree(service, name):
+    """The most recent kept span tree for route ``name``."""
+    records = [r for r in service.reqtrace.sampled() if r["name"] == name]
+    assert records, f"no kept trace for {name}"
+    return records[-1]
+
+
+class TestSpanTree:
+    def test_sharded_components_is_one_connected_tree(self, traced):
+        handle, service, _ = traced
+        get_json(handle.url + "/components")
+        record = request_tree(service, "service.components")
+        names = [e["name"] for e in record["events"]]
+        # route -> executor -> epoch pin -> shard fan-out -> worker spans
+        assert "service.exec.components" in names
+        assert "service.epoch.read" in names
+        assert "service.shard_components" in names
+        workers = [
+            e for e in record["events"]
+            if e["name"] == "parallel.service.shard_components"
+        ]
+        assert workers, "no worker spans adopted across the process boundary"
+        assert all("worker" in e["attrs"] for e in workers)
+        # single connected tree: every parent resolves inside the record
+        ids = {e["span_id"] for e in record["events"]}
+        roots = [e for e in record["events"] if e["parent_id"] is None]
+        assert len(roots) == 1 and roots[0]["name"] == "service.components"
+        assert all(
+            e["parent_id"] in ids for e in record["events"] if e["parent_id"] is not None
+        )
+        # every span is stamped with the request identity
+        assert all(
+            e["attrs"]["trace_id"] == record["trace_id"]
+            for e in record["events"]
+            if e["parent_id"] is not None
+        )
+
+    def test_tree_exports_through_the_chrome_exporter(self, traced):
+        handle, service, _ = traced
+        get_json(handle.url + "/components")
+        # later /components hits the per-epoch label cache (no shard
+        # fan-out), so pick the kept record that did cross the pool
+        records = [
+            r for r in service.reqtrace.sampled()
+            if r["name"] == "service.components"
+            and any(e["name"] == "parallel.service.shard_components"
+                    for e in r["events"])
+        ]
+        assert records, "no sharded components trace captured"
+        doc = to_chrome_trace(records[-1]["events"])
+        assert validate_chrome_trace(doc) == []
+        # worker spans land on their own lanes
+        tids = {e["tid"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert len(tids) > 1
+
+    def test_drainer_batches_traced_with_epoch(self, traced):
+        _, service, batches = traced
+        applies = [
+            r for r in service.reqtrace.sampled() if r["name"] == "service.apply_batch"
+        ]
+        assert applies, "drainer batches were not traced"
+        assert applies[-1]["kind"] == "update"
+        assert applies[-1]["epoch"] is not None
+        names = {e["name"] for e in applies[-1]["events"]}
+        assert {"service.drain.apply", "service.drain.rotate"} <= names
+
+    def test_exec_span_runs_on_executor_thread(self, traced):
+        handle, service, _ = traced
+        get_json(handle.url + "/connected?u=0&v=1")
+        record = request_tree(service, "service.connected")
+        execs = [e for e in record["events"] if e["name"] == "service.exec.connected"]
+        assert execs and execs[0]["attrs"]["thread"] != "MainThread"
+
+    def test_traced_bodies_bit_identical_to_untraced(self, traced):
+        handle, service, batches = traced
+        untraced = GraphService(DynamicGraph(N), reqtrace=False)
+        plain = untraced.start_background()
+        try:
+            for c in batches:
+                plain.submit(c)
+            untraced.drainer.close()
+            for path in (
+                "/components?full=1",
+                "/connected?u=0&v=1",
+                "/component?v=7",
+                "/bfs?source=3&full=1",
+            ):
+                assert get_json(handle.url + path) == get_json(plain.url + path)
+        finally:
+            plain.close()
+
+
+class TestEndpoints:
+    def test_debug_slow_shape(self, traced):
+        handle, service, _ = traced
+        get_json(handle.url + "/connected?u=0&v=1")
+        debug = get_json(handle.url + "/debug/slow")
+        assert debug["enabled"] is True
+        assert debug["config"]["head_every"] == 1
+        assert isinstance(debug["slow"], list)
+        assert debug["recent"]  # summaries for every request
+        assert "sampled" not in debug
+        with_sampled = get_json(handle.url + "/debug/slow?sampled=1")
+        assert with_sampled["sampled"]  # head_every=1 keeps everything
+
+    def test_slo_endpoint_states_both_trackers(self, traced):
+        handle, _, _ = traced
+        slos = get_json(handle.url + "/slo")["slos"]
+        assert sorted(slos) == ["service.query", "service.update"]
+        assert slos["service.query"]["objectives"]["latency"]["breaching"] is False
+
+    def test_stats_carry_gauges_and_trace_fields(self, traced):
+        handle, _, _ = traced
+        get_json(handle.url + "/connected?u=0&v=1")
+        stats = get_json(handle.url + "/stats")
+        assert stats["queries_inflight"] == 0  # nothing mid-flight at rest
+        assert stats["update_queue_depth"] == 0
+        assert stats["reqtrace"] is True
+        assert stats["slow_captured"] >= 0
+
+    def test_gauges_sampled_by_live_collector(self, traced):
+        handle, _, _ = traced
+        get_json(handle.url + "/connected?u=0&v=1")
+        col = TelemetryCollector(METRICS, interval=3600)
+        col.tick(now=0.0)
+        assert "service.queries.inflight" in col.store.names()
+        assert "service.update_queue.depth" in col.store.names()
+
+    def test_metrics_payload_carries_query_exemplars(self, traced):
+        handle, _, _ = traced
+        get_json(handle.url + "/connected?u=0&v=1")
+        with urllib.request.urlopen(handle.url + "/metrics", timeout=30) as r:
+            payload = r.read().decode()
+        from repro.obs import validate_openmetrics
+
+        assert validate_openmetrics(payload)["n_exemplars"] > 0
+        assert "service_query_seconds_bucket" in payload
+
+
+class TestPoolRestart:
+    def test_trace_context_survives_restart_without_orphans(self):
+        tracer = RequestTracer(
+            head_every=1, registry=MetricsRegistry(), exemplars=ExemplarStore()
+        )
+        pool = WorkerPool(2, timeout=60.0).start()
+        try:
+            trace = tracer.start("service.components")
+            with activate(trace):
+                with trace.span("shard.round1"):
+                    with pytest.raises(WorkerCrashError):
+                        pool.run_tasks(
+                            [TaskSpec("selftest.exit", {})]
+                            + [TaskSpec("selftest.echo", {"value": 1})] * 3
+                        )
+                pool.restart()
+                with trace.span("shard.round2") as round2:
+                    out = pool.run_tasks(
+                        [TaskSpec("selftest.echo", {"value": k}) for k in range(4)]
+                    )
+            assert [o["echo"] for o in out] == [0, 1, 2, 3]
+            record = tracer.finish(trace)
+            events = record["events"]
+            # new-generation worker spans adopted under the new round's span
+            adopted = [
+                e for e in events
+                if e["name"] == "parallel.selftest.echo"
+                and e["parent_id"] == round2.span_id
+            ]
+            assert len(adopted) == 4
+            assert all(e["attrs"]["trace_id"] == trace.trace_id for e in adopted)
+            # no orphans anywhere: every span parents inside the tree
+            ids = {e["span_id"] for e in events}
+            assert all(
+                e["parent_id"] in ids
+                for e in events
+                if e["parent_id"] is not None
+            )
+            assert validate_chrome_trace(to_chrome_trace(events)) == []
+        finally:
+            pool.shutdown()
+
+
+class TestSloFaultInjection:
+    def test_throttled_drainer_alerts_once_per_episode(self, capsys):
+        fake = [1000.0]
+        slo_update = SloTracker(
+            "service.update",
+            latency_threshold_seconds=0.001,
+            windows=(5.0, 20.0),
+            registry=MetricsRegistry(),
+            clock=lambda: fake[0],
+        )
+        service = GraphService(DynamicGraph(N), slo_update=slo_update)
+        service.drainer.throttle = 0.02  # fault injection: every batch breaches
+        watchdog = Watchdog(None, registry=MetricsRegistry())
+        watchdog.attach_slo(slo_update)
+        handle = service.start_background()
+        try:
+            def drain(seed):
+                batches = list(
+                    iter_update_chunks(SCALE, N, seed=seed, chunk_edges=64)
+                )
+                before = service.drainer.n_batches
+                for c in batches:
+                    handle.submit(c)
+                deadline = time.monotonic() + 60
+                while service.drainer.n_batches < before + len(batches):
+                    assert time.monotonic() < deadline, "drain stalled"
+                    time.sleep(0.01)
+
+            drain(seed=5)
+            first = watchdog.check()
+            assert [a["kind"] for a in first] == ["slo_burn_latency"]
+            assert first[0]["slo"] == "service.update"
+            # same episode: further checks stay silent
+            assert watchdog.check() == []
+            assert len(watchdog.alerts) == 1
+
+            # the alert is visible at /slo ...
+            state = get_json(handle.url + "/slo")["slos"]["service.update"]
+            assert state["n_alerts"] == 1
+            assert state["alerts"][0]["kind"] == "slo_burn_latency"
+
+            # ... and through the CLI
+            assert main(["obs", "slo", handle.url]) == 0
+            out = capsys.readouterr().out
+            assert "slo_burn_latency" in out and "service.update" in out
+            assert main(["obs", "slo", handle.url, "--json"]) == 0
+
+            # recovery re-arms; a second breach is a second episode
+            fake[0] = 2000.0
+            assert watchdog.check() == []
+            drain(seed=6)
+            second = watchdog.check()
+            assert [a["kind"] for a in second] == ["slo_burn_latency"]
+            assert len(watchdog.alerts) == 2
+        finally:
+            handle.close()

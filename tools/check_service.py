@@ -9,11 +9,16 @@ Stdlib-only.  Pointed at a running ``python -m repro serve`` endpoint
    ``/components`` and ``/stats``), asserting every one answers 200 with
    a well-formed JSON body naming its epoch;
 2. scrapes ``/metrics`` and structurally validates the payload with
-   :func:`repro.obs.expose.validate_openmetrics`;
+   :func:`repro.obs.expose.validate_openmetrics`, asserting the
+   ``service.query.seconds`` histogram carries trace-id exemplars;
 3. cross-checks consistency: ``/connected`` answers agree with the
    labels of a ``/components?full=1`` snapshot from the same epoch;
-4. writes a JSON latency report (count, mean, p50, p99, per-endpoint
-   breakdown) to ``--report`` for the CI artifact upload.
+4. pulls ``/debug/slow?sampled=1`` after the storm and (with
+   ``--chrome-out``) exports the slowest captured request's span tree as
+   a validated Chrome-trace artifact;
+5. writes a JSON latency report (count, mean, p50, p99, per-endpoint
+   breakdown, slow-query capture counts) to ``--report`` for the CI
+   artifact upload.
 
 Exit status: 0 on success, 1 on any failed query/validation, 2 on usage
 errors (endpoint unreachable, bad URL file).
@@ -63,6 +68,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timeout", type=float, default=60.0)
     parser.add_argument("--report", default=None, metavar="PATH",
                         help="write the JSON latency report here")
+    parser.add_argument("--chrome-out", default=None, metavar="PATH",
+                        help="write a Chrome trace of the slowest captured "
+                             "request here (needs server-side reqtrace)")
+    parser.add_argument("--expect-exemplars", action="store_true",
+                        help="fail unless /metrics carries trace-id exemplars")
     args = parser.parse_args(argv)
 
     base = args.url
@@ -135,7 +145,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: invalid OpenMetrics payload: {exc}")
         return 1
     print(f"/metrics payload valid: {families['n_families']} families, "
-          f"{families['n_samples']} samples")
+          f"{families['n_samples']} samples, "
+          f"{families['n_exemplars']} exemplar(s)")
+    if args.expect_exemplars and not families["n_exemplars"]:
+        print("error: /metrics carries no trace-id exemplars "
+              "(server started with --no-reqtrace?)")
+        return 1
 
     # ---- 3. consistency cross-check ----------------------------------- #
     comp, _ = _get(base + "/components?full=1", args.timeout)
@@ -149,7 +164,34 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  INCONSISTENT /connected?u={u}&v={v}: {body}")
     print(f"consistency cross-check: {mismatches} mismatch(es)")
 
-    # ---- 4. latency report -------------------------------------------- #
+    # ---- 4. slow-query store + Chrome trace artifact ------------------ #
+    debug, _ = _get(base + "/debug/slow?sampled=1", args.timeout)
+    n_slow = len(debug.get("slow", []))
+    n_sampled = len(debug.get("sampled", []))
+    print(f"/debug/slow: tracing {'on' if debug.get('enabled') else 'off'}, "
+          f"{n_slow} slow + {n_sampled} head-sampled capture(s)")
+    if args.chrome_out:
+        from repro.obs.export import to_chrome_trace, validate_chrome_trace
+
+        # Prefer a tail-sampled (slow) tree; fall back to head-sampled.
+        captured = sorted(
+            debug.get("slow", []) + debug.get("sampled", []),
+            key=lambda r: r.get("duration_seconds", 0.0),
+            reverse=True,
+        )
+        if not captured:
+            print("error: --chrome-out given but no request traces captured "
+                  "(server started with --no-reqtrace or head/tail never hit?)")
+            return 1
+        slowest = captured[0]
+        trace = to_chrome_trace(slowest["events"])
+        validate_chrome_trace(trace)
+        Path(args.chrome_out).write_text(json.dumps(trace, indent=2) + "\n")
+        print(f"wrote Chrome trace of {slowest['trace_id']} "
+              f"({slowest['name']}, {1e3 * slowest['duration_seconds']:.2f}ms, "
+              f"{len(slowest['events'])} spans) -> {args.chrome_out}")
+
+    # ---- 5. latency report -------------------------------------------- #
     all_lat = sorted(x for v in latencies.values() for x in v)
     report = {
         "endpoint": base,
@@ -172,7 +214,14 @@ def main(argv: list[str] | None = None) -> int:
             }
             for route, v in sorted(latencies.items())
         },
-        "openmetrics": {k: families[k] for k in ("n_families", "n_samples")},
+        "openmetrics": {
+            k: families[k] for k in ("n_families", "n_samples", "n_exemplars")
+        },
+        "reqtrace": {
+            "enabled": bool(debug.get("enabled")),
+            "slow_captured": n_slow,
+            "head_sampled_captured": n_sampled,
+        },
     }
     if args.report:
         Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
